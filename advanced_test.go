@@ -1,0 +1,128 @@
+package rackfab
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAttachBurstChannel(t *testing.T) {
+	c, err := New(Config{Topology: Line, Width: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BurstChannelConfig{
+		GoodBER: 1e-15, BadBER: 5e-5,
+		MeanGoodDwell: 500 * time.Microsecond,
+		MeanBadDwell:  500 * time.Microsecond,
+	}
+	if err := c.AttachBurstChannel(0, 1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	flows, err := c.Inject([]FlowSpec{{Src: 0, Dst: 1, Bytes: 3 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if flows[0].Retransmits() == 0 {
+		t.Fatal("burst channel produced no retransmits")
+	}
+	if err := c.DetachBurstChannel(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Bad configs and bad links are rejected.
+	if err := c.AttachBurstChannel(0, 1, BurstChannelConfig{GoodBER: 1e-3, BadBER: 1e-5, MeanGoodDwell: time.Millisecond, MeanBadDwell: time.Millisecond}); err == nil {
+		t.Fatal("inverted BERs accepted")
+	}
+	if err := c.AttachBurstChannel(0, 5, cfg); err == nil {
+		t.Fatal("missing link accepted")
+	}
+	if err := c.DetachBurstChannel(0, 5); err == nil {
+		t.Fatal("missing link accepted for detach")
+	}
+}
+
+func TestSetValiantRouting(t *testing.T) {
+	c, err := New(Config{Topology: Torus, Width: 4, Height: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetValiantRouting(true)
+	if _, err := c.Inject([]FlowSpec{{Src: 0, Dst: 15, Bytes: 15000}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	vlbHops := c.Report().MeanHops
+	// VLB pivots inflate hop counts past the torus diameter-bounded
+	// shortest path for this pair (≤ 2).
+	if vlbHops <= 2.0 {
+		t.Fatalf("VLB mean hops %v too short", vlbHops)
+	}
+	c.SetValiantRouting(false)
+}
+
+func TestLinkPrices(t *testing.T) {
+	c, err := New(Config{
+		Topology: Grid, Width: 3, Height: 3, Seed: 3,
+		Control: ControlConfig{Enabled: true, Epoch: 30 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Inject(UniformTraffic(c, 60, 32<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	prices := c.LinkPrices()
+	if len(prices) != 12 { // 3x3 grid: 12 links
+		t.Fatalf("prices = %d entries", len(prices))
+	}
+	positive := 0
+	for _, p := range prices {
+		if p.Price < 0 {
+			t.Fatalf("negative price: %+v", p)
+		}
+		if p.Price > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatal("no link accumulated any price under traffic")
+	}
+	// Without control there is no price book.
+	c2, _ := New(Config{Topology: Line, Width: 2, Seed: 4})
+	if c2.LinkPrices() != nil {
+		t.Fatal("price book without control")
+	}
+}
+
+func TestFECLadderInfo(t *testing.T) {
+	ladder := FECLadder()
+	if len(ladder) != 4 {
+		t.Fatalf("ladder = %d rungs", len(ladder))
+	}
+	if ladder[0].Name != "none" || ladder[0].Overhead != 1.0 {
+		t.Fatalf("rung 0 = %+v", ladder[0])
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i].Latency < ladder[i-1].Latency {
+			t.Fatal("ladder latency not nondecreasing")
+		}
+		if ladder[i].Overhead <= 1.0 {
+			t.Fatalf("rung %d has no overhead", i)
+		}
+	}
+}
+
+func TestMinFlowSizeForBypass(t *testing.T) {
+	// Same analytic case as the internal optimizer test: 1 ms setup,
+	// 25G → 50G gives σ* = 6.25 MB.
+	if got := MinFlowSizeForBypass(time.Millisecond, 25e9, 50e9); got != 6_250_000 {
+		t.Fatalf("σ* = %d", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Benchmarks: one per table/figure of DESIGN.md's per-experiment index,
+// regenerating each result at Quick scale per iteration, plus engine
+// microbenchmarks. Run with:
+//
+//	go test -bench=. -benchmem .
+package rackfab_test
+
+import (
+	"testing"
+	"time"
+
+	"rackfab"
+	"rackfab/internal/experiment"
+	"rackfab/internal/fluid"
+	"rackfab/internal/route"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// benchExperiment regenerates one experiment table per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run, ok := experiment.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		table, err := run(experiment.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig1LatencyBreakdown(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig2Reconfigure(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkE3MapReduce(b *testing.B)          { benchExperiment(b, "e3") }
+func BenchmarkE4PowerBudget(b *testing.B)        { benchExperiment(b, "e4") }
+func BenchmarkE5MinFlowSize(b *testing.B)        { benchExperiment(b, "e5") }
+func BenchmarkE6AdaptiveFEC(b *testing.B)        { benchExperiment(b, "e6") }
+func BenchmarkE7Validation(b *testing.B)         { benchExperiment(b, "e7") }
+func BenchmarkE8Scale(b *testing.B)              { benchExperiment(b, "e8") }
+func BenchmarkE9BurstFEC(b *testing.B)           { benchExperiment(b, "e9") }
+func BenchmarkA1PriceWeights(b *testing.B)       { benchExperiment(b, "a1") }
+func BenchmarkA2Bypass(b *testing.B)             { benchExperiment(b, "a2") }
+func BenchmarkA3Routing(b *testing.B)            { benchExperiment(b, "a3") }
+
+// BenchmarkPacketEngine measures simulated frame throughput of the packet
+// engine: a 4x4 grid shuffling 16 KiB partitions. The reported custom
+// metric is frames per wall second.
+func BenchmarkPacketEngine(b *testing.B) {
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		cluster, err := rackfab.New(rackfab.Config{
+			Topology: rackfab.Grid, Width: 4, Height: 4, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cluster.Inject(rackfab.ShuffleTraffic(cluster, 16<<10)); err != nil {
+			b.Fatal(err)
+		}
+		if err := cluster.RunUntilDone(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		frames += cluster.Report().FramesDelivered
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkFluidEngine measures the flow-level engine on a 256-node torus.
+func BenchmarkFluidEngine(b *testing.B) {
+	g := topo.NewTorus(16, 16, topo.Options{})
+	rng := sim.NewRNG(1)
+	specs := workload.Uniform(rng, workload.UniformConfig{
+		Nodes: 256, Flows: 512,
+		Size:             workload.Fixed(256e3),
+		MeanInterarrival: 2 * sim.Microsecond,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fluid.Run(fluid.Config{Graph: g}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteRebuild measures a full price-driven routing rebuild on a
+// 256-node torus — the CRC pays this every epoch.
+func BenchmarkRouteRebuild(b *testing.B) {
+	g := topo.NewTorus(16, 16, topo.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := route.Build(g, route.UniformCost); t == nil {
+			b.Fatal("nil table")
+		}
+	}
+}

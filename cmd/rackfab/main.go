@@ -1,0 +1,116 @@
+// Command rackfab regenerates the paper's figures and experiments from the
+// command line. Each experiment ID matches a row of DESIGN.md's
+// per-experiment index:
+//
+//	rackfab list                 # show all experiments
+//	rackfab fig1                 # Figure 1 at full scale
+//	rackfab -scale quick fig2    # Figure 2, benchmark-sized
+//	rackfab -csv out.csv e5      # also write CSV
+//	rackfab all                  # run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rackfab/internal/experiment"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment sizing: quick or full")
+	csvPath := flag.String("csv", "", "also write the table(s) as CSV to this path")
+	plotFlag := flag.Bool("plot", false, "render figures as ASCII charts where available")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	var scale experiment.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiment.Quick
+	case "full":
+		scale = experiment.Full
+	default:
+		fmt.Fprintf(os.Stderr, "rackfab: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	arg := flag.Arg(0)
+	switch arg {
+	case "sim":
+		if err := runSim(flag.Args()[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "rackfab: sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "list":
+		for _, line := range experiment.List() {
+			fmt.Println(line)
+		}
+		return
+	case "all":
+		for _, id := range experiment.IDs() {
+			if err := runOne(id, scale, *csvPath, *plotFlag); err != nil {
+				fmt.Fprintf(os.Stderr, "rackfab: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	default:
+		if err := runOne(arg, scale, *csvPath, *plotFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "rackfab: %s: %v\n", arg, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(id string, scale experiment.Scale, csvPath string, plot bool) error {
+	run, ok := experiment.Lookup(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment (try `rackfab list`)")
+	}
+	table, err := run(scale)
+	if err != nil {
+		return err
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+	if plot && id == "fig1" {
+		p, err := experiment.Fig1Plot(table)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := p.Render(os.Stdout, 64, 18); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := table.CSV(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: rackfab [-scale quick|full] [-csv path] <experiment|list|all>
+       rackfab sim [-topo grid] [-width 4] [-height 4] [-workload uniform] …
+
+experiments:
+`)
+	for _, line := range experiment.List() {
+		fmt.Fprintf(os.Stderr, "  %s\n", line)
+	}
+}

@@ -1,0 +1,83 @@
+package rackfab_test
+
+import (
+	"fmt"
+	"time"
+
+	"rackfab"
+)
+
+// Example builds a small adaptive rack fabric, runs a MapReduce-style
+// shuffle with the Closed Ring Control enabled, and reports the job
+// completion time deterministically.
+func Example() {
+	cluster, err := rackfab.New(rackfab.Config{
+		Topology: rackfab.Grid,
+		Width:    3, Height: 3,
+		Seed:    7,
+		Control: rackfab.ControlOn(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	flows, err := cluster.Inject(rackfab.ShuffleTraffic(cluster, 16<<10))
+	if err != nil {
+		panic(err)
+	}
+	if err := cluster.RunUntilDone(5 * time.Second); err != nil {
+		panic(err)
+	}
+	jct, err := rackfab.JobCompletionTime(flows)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("flows: %d, all complete: %v, JCT under 1ms: %v\n",
+		len(flows), cluster.Report().FlowsCompleted == int64(len(flows)), jct < time.Millisecond)
+	// Output:
+	// flows: 72, all complete: true, JCT under 1ms: true
+}
+
+// ExampleCluster_ApplyGridToTorus reconfigures a grid into a torus through
+// Physical Layer Primitives and shows the hop-count gain — the paper's
+// Figure 2 in four statements.
+func ExampleCluster_ApplyGridToTorus() {
+	cluster, err := rackfab.New(rackfab.Config{
+		Topology: rackfab.Grid, Width: 4, Height: 4, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	before, _ := cluster.MeanHops()
+	if err := cluster.ApplyGridToTorus(1); err != nil {
+		panic(err)
+	}
+	if err := cluster.RunFor(50 * time.Millisecond); err != nil {
+		panic(err)
+	}
+	after, _ := cluster.MeanHops()
+	fmt.Printf("mean hops: %.2f -> %.2f\n", before, after)
+	// Output:
+	// mean hops: 2.67 -> 2.13
+}
+
+// ExampleMinFlowSizeForBypass evaluates the paper's central optimization:
+// the smallest flow for which a reconfiguration pays for itself.
+func ExampleMinFlowSizeForBypass() {
+	sigma := rackfab.MinFlowSizeForBypass(time.Millisecond, 25e9, 50e9)
+	fmt.Printf("reconfigure only for flows above %d MB\n", sigma/1_000_000)
+	// Output:
+	// reconfigure only for flows above 6 MB
+}
+
+// ExampleFECLadder lists the adaptive FEC ladder the Closed Ring Control
+// walks as channel quality degrades.
+func ExampleFECLadder() {
+	for _, p := range rackfab.FECLadder() {
+		fmt.Printf("%-14s overhead %.3f\n", p.Name, p.Overhead)
+	}
+	// Output:
+	// none           overhead 1.000
+	// secded(72,64)  overhead 1.125
+	// rs(255,239)    overhead 1.067
+	// rs(255,223)    overhead 1.143
+}

@@ -1,0 +1,80 @@
+// MapReduce: the paper's motivating example. A shuffle runs on a healthy
+// fabric, then on a fabric with one degraded link under static routing
+// ("the slowest link pulls down the performance of an entire system"), and
+// finally with the Closed Ring Control routing around the degradation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rackfab"
+)
+
+const (
+	side         = 4
+	bytesPerPair = 64 << 10
+)
+
+func runShuffle(degrade, adaptive bool) time.Duration {
+	cfg := rackfab.Config{
+		Topology: rackfab.Grid, Width: side, Height: side, Seed: 11,
+	}
+	if adaptive {
+		cfg.Control = rackfab.ControlConfig{
+			Enabled:         true,
+			Epoch:           30 * time.Microsecond,
+			DisableReconfig: true, // isolate the routing response
+			DisableBypass:   true,
+		}
+	}
+	cluster, err := rackfab.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if degrade {
+		// Halve a central link's bandwidth: lose one of its two lanes.
+		center := (side/2)*side + side/2
+		if err := cluster.DisableLanes(center, center+1, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	flows, err := cluster.Inject(rackfab.ShuffleTraffic(cluster, bytesPerPair))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.RunUntilDone(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	jct, err := rackfab.JobCompletionTime(flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return jct
+}
+
+func main() {
+	fmt.Printf("MapReduce shuffle on a %dx%d rack, %d KiB per mapper→reducer pair\n\n",
+		side, side, bytesPerPair>>10)
+
+	healthy := runShuffle(false, false)
+	fmt.Printf("healthy fabric, static routes:        JCT %v\n", healthy)
+
+	static := runShuffle(true, false)
+	fmt.Printf("one slow link,  static routes:        JCT %v  (%+.1f%%)\n",
+		static, pct(static, healthy))
+
+	adaptive := runShuffle(true, true)
+	fmt.Printf("one slow link,  CRC adaptive routing: JCT %v  (%+.1f%%)\n",
+		adaptive, pct(adaptive, healthy))
+
+	if static > healthy {
+		rec := float64(static-adaptive) / float64(static-healthy) * 100
+		fmt.Printf("\nthe CRC recovered %.0f%% of the slowdown the slow link caused\n", rec)
+	}
+}
+
+func pct(v, base time.Duration) float64 {
+	return (float64(v) - float64(base)) / float64(base) * 100
+}

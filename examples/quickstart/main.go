@@ -1,0 +1,44 @@
+// Quickstart: build a 4x4 adaptive rack fabric, run uniform traffic with
+// the Closed Ring Control enabled, and print the cluster report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rackfab"
+)
+
+func main() {
+	cluster, err := rackfab.New(rackfab.Config{
+		Topology: rackfab.Grid,
+		Width:    4,
+		Height:   4,
+		Seed:     1,
+		Control:  rackfab.ControlOn(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built a %d-node grid fabric\n", cluster.Nodes())
+	hops, _ := cluster.MeanHops()
+	fmt.Printf("mean hops %.2f, idle power %.1f W\n\n", hops, cluster.PowerW())
+
+	flows, err := cluster.Inject(rackfab.UniformTraffic(cluster, 200, 64<<10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.RunUntilDone(5 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	var worst time.Duration
+	for _, f := range flows {
+		if d, err := f.CompletionTime(); err == nil && d > worst {
+			worst = d
+		}
+	}
+	fmt.Println(cluster.Report())
+	fmt.Printf("\nworst flow completion: %v (simulated)\n", worst)
+}

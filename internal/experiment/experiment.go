@@ -1,0 +1,69 @@
+// Package experiment regenerates the paper's figures and the quantitative
+// claims of its prose, one entry point per row of DESIGN.md's
+// per-experiment index. Every experiment returns a Table that renders to
+// the terminal (and CSV), and is deterministic for a given seed.
+package experiment
+
+import (
+	"fmt"
+
+	"rackfab/internal/fabric"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+)
+
+// Scale selects experiment sizing: Quick for benchmarks and CI, Full for
+// the numbers quoted in EXPERIMENTS.md.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// pick returns q under Quick and f under Full.
+func (s Scale) pick(q, f int) int {
+	if s == Quick {
+		return q
+	}
+	return f
+}
+
+// buildFabric wires a fabric over g with optional config mutation.
+func buildFabric(g *topo.Graph, seed int64, mutate ...func(*fabric.Config)) (*sim.Engine, *fabric.Fabric, error) {
+	eng := sim.New()
+	cfg := fabric.DefaultConfig(g)
+	cfg.Seed = seed
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	f, err := fabric.New(eng, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, f, nil
+}
+
+// ns formats a duration as nanoseconds with sensible precision.
+func ns(d sim.Duration) string {
+	return fmt.Sprintf("%.1f", d.Nanoseconds())
+}
+
+// us formats a duration as microseconds.
+func us(d sim.Duration) string {
+	return fmt.Sprintf("%.2f", d.Microseconds())
+}
+
+// ms formats a duration as milliseconds.
+func ms(d sim.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds()*1e3)
+}
+
+// pct formats a ratio as a signed percentage.
+func pct(new, old float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+
+	"rackfab/internal/fabric"
+	"rackfab/internal/phy"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// Fig1 regenerates Figure 1: "the latency due to propagation of packets in
+// the media vs. the latency due to packet traversing a layer 2
+// state-of-the-art cut through switch. We assume a switch every 2 meters."
+//
+// Two series over distance (one switch per 2 m hop): cumulative media
+// flight time and cumulative switch traversal time. The third column runs
+// the same path through the packet simulator to tie the analytic figure to
+// the measured model. The paper's conclusion — "in the scale of a rack,
+// the latency due to packet switching is dominant" — should show as a
+// ratio far above 1 at every row.
+func Fig1(scale Scale) (*Table, error) {
+	maxHops := scale.pick(8, 20)
+	const (
+		spacingM = 2.0
+		pipeline = 450 * sim.Nanosecond
+	)
+	media := phy.ProfileOf(phy.OpticalFiber)
+	perHopMedia := media.Propagation(spacingM)
+
+	t := &Table{
+		Title:   "Figure 1 — media propagation vs cut-through switching latency (switch every 2 m)",
+		Columns: []string{"hops", "distance(m)", "media(ns)", "switching(ns)", "sim-measured(ns)", "switch/media"},
+	}
+	for hops := 1; hops <= maxHops; hops++ {
+		mediaTotal := sim.Duration(int64(hops) * int64(perHopMedia))
+		switchTotal := sim.Duration(int64(hops) * int64(pipeline))
+		measured, err := fig1Measure(hops, spacingM, pipeline)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", hops),
+			fmt.Sprintf("%.0f", float64(hops)*spacingM),
+			ns(mediaTotal),
+			ns(switchTotal),
+			ns(measured),
+			fmt.Sprintf("%.0fx", float64(switchTotal)/float64(mediaTotal)),
+		)
+	}
+	t.AddNote("media: optical fiber at %.1f ns/m; switch: %v cut-through pipeline per hop", float64(media.PropagationPerMeter)/1000, pipeline)
+	t.AddNote("sim-measured: one 64 B probe end-to-end on a line fabric minus source NIC serialization;")
+	t.AddNote("it carries a constant ≈460 ns tail (destination switch + host-port delivery) on top of the switching series")
+	return t, nil
+}
+
+// Fig1Plot renders the Figure 1 series as an ASCII chart (log-scale y
+// axis, the shape printed in the paper).
+func Fig1Plot(t *Table) (*Plot, error) {
+	p := &Plot{
+		Title:  "Figure 1 — cumulative latency vs distance (switch every 2 m)",
+		XLabel: "distance, m",
+		YLabel: "latency, ns",
+		LogY:   true,
+		Series: []Series{
+			{Name: "media propagation", Marker: 'm'},
+			{Name: "cut-through switching", Marker: 'S'},
+		},
+	}
+	for _, row := range t.Rows {
+		var dist, media, sw float64
+		if _, err := fmt.Sscanf(row[1], "%g", &dist); err != nil {
+			return nil, fmt.Errorf("experiment: fig1 plot: %w", err)
+		}
+		if _, err := fmt.Sscanf(row[2], "%g", &media); err != nil {
+			return nil, fmt.Errorf("experiment: fig1 plot: %w", err)
+		}
+		if _, err := fmt.Sscanf(row[3], "%g", &sw); err != nil {
+			return nil, fmt.Errorf("experiment: fig1 plot: %w", err)
+		}
+		p.Series[0].Points = append(p.Series[0].Points, Point{X: dist, Y: media})
+		p.Series[1].Points = append(p.Series[1].Points, Point{X: dist, Y: sw})
+	}
+	return p, nil
+}
+
+// fig1Measure runs one probe frame over a hops-link line fabric and
+// returns its end-to-end latency minus the source NIC serialization, i.e.
+// the fabric-attributable latency Figure 1 plots.
+func fig1Measure(hops int, spacingM float64, pipeline sim.Duration) (sim.Duration, error) {
+	g := topo.NewLine(hops+1, topo.Options{
+		LanesPerLink: 4,
+		Media:        phy.OpticalFiber,
+		NodeSpacingM: spacingM,
+	})
+	eng, f, err := buildFabric(g, 1, func(c *fabric.Config) {
+		c.Switch.PipelineLatency = pipeline
+	})
+	if err != nil {
+		return 0, err
+	}
+	_ = eng
+	if _, err := f.InjectFlows([]workload.FlowSpec{{Src: 0, Dst: hops, Bytes: 46}}); err != nil {
+		return 0, err
+	}
+	if err := f.RunUntilDone(sim.Time(sim.Second)); err != nil {
+		return 0, err
+	}
+	nicSerial := sim.Transmission(64*8+20*8, 100e9)
+	return sim.Duration(f.Stats().Latency.Max()) - nicSerial, nil
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders experiment series as an ASCII chart — the paper's figures
+// are plots, so the CLI can show them as plots. Series share the x axis;
+// the y axis optionally uses log10 (Figure 1 spans two decades).
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY switches the y axis to log10 (all y values must be positive).
+	LogY   bool
+	Series []Series
+}
+
+// Series is one named line on a plot.
+type Series struct {
+	Name   string
+	Marker byte
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Render draws the plot into w at the given character dimensions
+// (excluding axes/labels). Sensible minimums are enforced.
+func (p *Plot) Render(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	if len(p.Series) == 0 {
+		return fmt.Errorf("experiment: plot %q has no series", p.Title)
+	}
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			y := pt.Y
+			if p.LogY {
+				if y <= 0 {
+					return fmt.Errorf("experiment: log plot %q has non-positive y %v", p.Title, y)
+				}
+				y = math.Log10(y)
+			}
+			minX = math.Min(minX, pt.X)
+			maxX = math.Max(maxX, pt.X)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	cell := func(pt Point) (col, row int) {
+		y := pt.Y
+		if p.LogY {
+			y = math.Log10(y)
+		}
+		col = int(math.Round((pt.X - minX) / (maxX - minX) * float64(width-1)))
+		row = height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+		return col, row
+	}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			col, row := cell(pt)
+			grid[row][col] = s.Marker
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", p.Title); err != nil {
+		return err
+	}
+	// Y axis labels: top and bottom.
+	topLabel, botLabel := p.yLabel(maxY), p.yLabel(minY)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for i, rowBytes := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*.4g%*.4g  (%s)\n",
+		strings.Repeat(" ", labelW), width/2, minX, width-width/2, maxX, p.XLabel); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(p.Series))
+	for _, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	_, err := fmt.Fprintf(w, "y: %s%s   %s\n", p.YLabel, logSuffix(p.LogY), strings.Join(legend, "  "))
+	return err
+}
+
+func (p *Plot) yLabel(v float64) string {
+	if p.LogY {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func logSuffix(logY bool) string {
+	if logY {
+		return " (log scale)"
+	}
+	return ""
+}

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner func(Scale) (*Table, error)
+
+// registry maps experiment IDs (DESIGN.md per-experiment index) to
+// runners.
+var registry = map[string]struct {
+	Run  Runner
+	Desc string
+}{
+	"fig1": {Fig1, "Figure 1: media propagation vs cut-through switching latency"},
+	"fig2": {Fig2, "Figure 2: grid 2-lane → torus 1-lane CRC reconfiguration"},
+	"e3":   {E3, "MapReduce shuffle: slowest link gates the job; CRC recovery"},
+	"e4":   {E4, "power budget enforcement via PLP #3 lane shedding"},
+	"e5":   {E5, "minimum flow size σ* for which reconfiguration pays"},
+	"e6":   {E6, "adaptive FEC across a BER sweep"},
+	"e7":   {E7, "small-scale sim vs NetFPGA-SUME-class PoC validation"},
+	"e8":   {E8, "scale sweep 64→1024 nodes on the fluid engine"},
+	"e9":   {E9, "adaptive FEC on a bursty (Gilbert–Elliott) channel"},
+	"a1":   {A1, "ablation: CRC price-weight terms under hotspot load"},
+	"a2":   {A2, "ablation: bypass express channels for elephants"},
+	"a3":   {A3, "ablation: shortest-path vs VLB vs CRC adaptive routing"},
+}
+
+// Lookup resolves an experiment ID.
+func Lookup(id string) (Runner, bool) {
+	e, ok := registry[id]
+	return e.Run, ok
+}
+
+// List returns "id: description" lines in ID order.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = fmt.Sprintf("%-5s %s", id, registry[id].Desc)
+	}
+	return out
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,191 @@
+package fabric
+
+import (
+	"rackfab/internal/host"
+	"rackfab/internal/sim"
+	"rackfab/internal/switching"
+	"rackfab/internal/topo"
+)
+
+// splitmix64 mixes flow IDs into ECMP hashes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hostInject is the NIC→switch handoff: the frame enters the local
+// switch's host input port.
+func (f *Fabric) hostInject(node int, fr *switching.Frame) {
+	if fr.SrcNode == fr.DstNode {
+		// Loopback without touching the fabric.
+		f.deliver(node, fr)
+		return
+	}
+	f.switches[node].Inject(0, fr)
+}
+
+// forward is the switch lookup: local delivery on port 0, otherwise the
+// price-routed next hop (ECMP across ties by flow hash), or the Valiant
+// two-phase route when VLB is enabled.
+func (f *Fabric) forward(node int, fr *switching.Frame) (int, bool) {
+	if fr.DstNode == node {
+		return 0, true
+	}
+	var e *topo.Edge
+	var ok bool
+	if f.vlb != nil {
+		e, fr.VLBPhase2, ok = f.vlb.NextHop(
+			topo.NodeID(fr.SrcNode), topo.NodeID(node), topo.NodeID(fr.DstNode),
+			splitmix64(fr.FlowID), fr.VLBPhase2)
+	} else {
+		e, ok = f.table.NextHopECMP(topo.NodeID(node), topo.NodeID(fr.DstNode), splitmix64(fr.FlowID))
+	}
+	if !ok {
+		return 0, false
+	}
+	port, ok := f.portOf[node][e]
+	if !ok {
+		return 0, false // port map stale (edge removed mid-flight)
+	}
+	return port, true
+}
+
+// txTime is the serialization time of fr on node's output port.
+func (f *Fabric) txTime(node, port int, fr *switching.Frame) sim.Duration {
+	if port == 0 {
+		return sim.Transmission(fr.DataBits, f.cfg.Host.NICRate)
+	}
+	e := f.edgeAt[node][port]
+	if e == nil || !e.Link.Up() {
+		// The link died with the frame queued; charge a nominal time, the
+		// arrival side will drop it.
+		return sim.Microsecond
+	}
+	return e.Link.SerializationDelay(fr.DataBits)
+}
+
+// transmit puts fr on the wire of node's output port. It runs exactly when
+// serialization starts.
+func (f *Fabric) transmit(node, port int, fr *switching.Frame) {
+	if port == 0 {
+		// Egress to the local host: deliver when serialization completes.
+		tx := sim.Transmission(fr.DataBits, f.cfg.Host.NICRate)
+		f.eng.After(tx, "host-rx", func() { f.deliver(node, fr) })
+		return
+	}
+	e := f.edgeAt[node][port]
+	if e == nil || !e.Link.Up() {
+		f.onDrop(fr, "link-down")
+		return
+	}
+	ls := f.links[e.Link.ID]
+	peer := int(e.Other(topo.NodeID(node)))
+	link := e.Link
+
+	serialize := link.SerializationDelay(fr.DataBits)
+	prop := link.PropagationDelay()
+	if e.Express {
+		// Retimers at each bypassed node add their per-node latency.
+		prop += sim.Duration(len(e.Via)) * link.Profile().PerNodeBypassLatency
+	}
+	fecLat := link.FEC().Latency
+
+	// Channel error model.
+	outcome := link.TransferFrame(f.rng, f.eng.Now(), fr.DataBits)
+	if outcome.Lost {
+		// Cut-through semantics: the corrupt frame still propagates; the
+		// destination NIC's FCS check catches it and NACKs.
+		if ctx, ok := fr.Meta.(*host.FrameCtx); ok {
+			ctx.Corrupt = true
+		}
+		f.stats.Corrupt.Inc()
+	}
+
+	// Direction accounting for utilization reports.
+	dir := 0
+	if topo.NodeID(node) == e.B {
+		dir = 1
+	}
+	ls.busyPs[dir] += int64(serialize)
+
+	// VOQ delay observed by frames leaving on this link.
+	ls.qDelay.Observe(float64(f.eng.Now().Sub(fr.Injected)) / float64(1+fr.Hops))
+
+	// Arrival at the peer: cut-through forwards once the header has
+	// landed; store-and-forward waits for the tail. Express channels haul
+	// the frame straight to the far endpoint either way.
+	var ingress sim.Duration
+	if f.cfg.Switch.Mode == switching.CutThrough {
+		header := link.SerializationDelay(minInt64(f.cfg.CutThroughHeaderBits, fr.DataBits))
+		ingress = header + prop + fecLat
+	} else {
+		ingress = serialize + prop + fecLat
+	}
+	fr.Hops++
+	latency := f.eng.Now().Sub(fr.Injected)
+	link.ObserveLatency(latency)
+	f.eng.After(ingress, "link-rx", func() {
+		peerPort, ok := f.portOf[peer][e]
+		if !ok {
+			f.onDrop(fr, "peer-port-gone")
+			return
+		}
+		f.switches[peer].Inject(peerPort, fr)
+	})
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// deliver hands fr to the destination host.
+func (f *Fabric) deliver(node int, fr *switching.Frame) {
+	f.stats.Delivered.Inc()
+	f.stats.Latency.Record(int64(f.eng.Now().Sub(fr.Injected)))
+	f.stats.Hops.Record(int64(fr.Hops))
+	f.hosts[node].Deliver(fr, f.hosts[fr.SrcNode])
+}
+
+// onDrop recovers dropped frames through the transport retry path.
+func (f *Fabric) onDrop(fr *switching.Frame, reason string) {
+	f.stats.Dropped.Inc()
+	if ctx, ok := fr.Meta.(*host.FrameCtx); ok {
+		f.hosts[ctx.Flow.Src].Retransmit(ctx, f.cfg.RetryDelay)
+	}
+	_ = reason
+}
+
+// onPause relays ingress backpressure to the upstream transmitter: the
+// local host NIC for port 0, or the peer switch output feeding a fabric
+// input port.
+func (f *Fabric) onPause(node, port int, paused bool) {
+	if port == 0 {
+		f.hosts[node].SetPaused(paused)
+		return
+	}
+	e := f.edgeAt[node][port]
+	if e == nil {
+		return
+	}
+	peer := int(e.Other(topo.NodeID(node)))
+	if peerPort, ok := f.portOf[peer][e]; ok {
+		f.switches[peer].SetOutputPaused(peerPort, paused)
+	}
+}
+
+// nackDelay estimates the reverse-path control latency for a corruption
+// NACK: hops × (pipeline + one hop of flight time), no queueing.
+func (f *Fabric) nackDelay(from, to int) sim.Duration {
+	d := f.table.Distance(topo.NodeID(from), topo.NodeID(to))
+	hops := int64(d)
+	if hops < 1 {
+		hops = 1
+	}
+	perHop := f.cfg.Switch.PipelineLatency + 10*sim.Nanosecond
+	return sim.Duration(hops * int64(perHop))
+}

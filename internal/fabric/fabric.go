@@ -1,0 +1,269 @@
+// Package fabric assembles the full packet-level rack fabric: the topology
+// graph, per-node switches and hosts, link datapaths with FEC and error
+// injection, and the Physical Layer Primitive executor the Closed Ring
+// Control drives. It is the Go equivalent of the paper's OMNeT++ network
+// model.
+package fabric
+
+import (
+	"fmt"
+
+	"rackfab/internal/host"
+	"rackfab/internal/phy"
+	"rackfab/internal/power"
+	"rackfab/internal/route"
+	"rackfab/internal/sim"
+	"rackfab/internal/switching"
+	"rackfab/internal/telemetry"
+	"rackfab/internal/topo"
+)
+
+// Config assembles a fabric.
+type Config struct {
+	// Graph is the constructed topology (grid, torus, …).
+	Graph *topo.Graph
+	// Switch configures every node's switch; Ports is derived per node.
+	Switch switching.Config
+	// Host configures every node's NIC.
+	Host host.Config
+	// ExpressPorts reserves switch ports per node for runtime bypass
+	// channels (PLP #2).
+	ExpressPorts int
+	// PowerCapW is the rack power budget (0 = uncapped).
+	PowerCapW float64
+	// Seed drives all stochastic elements (error injection).
+	Seed int64
+	// RetryDelay is the transport's resend delay after a fabric drop.
+	RetryDelay sim.Duration
+	// CutThroughHeaderBits is how much of a frame must arrive before a
+	// cut-through switch can begin forwarding (header + lookup window).
+	CutThroughHeaderBits int64
+}
+
+// DefaultConfig returns the standard assembly for a graph.
+func DefaultConfig(g *topo.Graph) Config {
+	return Config{
+		Graph:                g,
+		Switch:               switching.DefaultConfig(0), // ports filled per node
+		Host:                 host.DefaultConfig(),
+		ExpressPorts:         4,
+		Seed:                 1,
+		RetryDelay:           50 * sim.Microsecond,
+		CutThroughHeaderBits: 64 * 8,
+	}
+}
+
+// Stats aggregates fabric-wide instruments.
+type Stats struct {
+	// Latency is the end-to-end frame latency distribution (ps).
+	Latency *telemetry.Histogram
+	// Hops is the per-frame switch-traversal distribution.
+	Hops *telemetry.Histogram
+	// Delivered, Dropped, Corrupt count frames.
+	Delivered telemetry.Counter
+	Dropped   telemetry.Counter
+	Corrupt   telemetry.Counter
+	// FlowsCompleted and FlowsFailed count flows.
+	FlowsCompleted telemetry.Counter
+	FlowsFailed    telemetry.Counter
+	// FCT is the flow-completion-time distribution (ps).
+	FCT *telemetry.Histogram
+}
+
+// linkState is the fabric's per-link bookkeeping.
+type linkState struct {
+	edge *topo.Edge
+	// busyPs accumulates transmitter busy time per direction (index 0:
+	// A→B, 1: B→A) since windowStart, for utilization reports.
+	busyPs      [2]int64
+	windowStart sim.Time
+	// qDelay smooths the VOQ delay of frames leaving onto this link.
+	qDelay *telemetry.EWMA
+	// prevBits/prevErrs snapshot the lane counters at the last report so
+	// MeasuredBER is windowed — a receiver reports the current channel,
+	// not its lifetime history (otherwise the CRC could never observe a
+	// repaired link and de-escalate its FEC).
+	prevBits, prevErrs int64
+	lastBER            float64
+}
+
+// Fabric is a fully wired packet-level rack fabric.
+type Fabric struct {
+	eng *sim.Engine
+	cfg Config
+	g   *topo.Graph
+
+	switches []*switching.Switch
+	hosts    []*host.Host
+	table    *route.Table
+	costFn   route.CostFunc
+	vlb      *route.VLB
+	rng      *sim.RNG
+
+	// port maps: portOf[node][edge] and edgeAt[node][port] (port 0 = host).
+	portOf    []map[*topo.Edge]int
+	edgeAt    [][]*topo.Edge
+	freePorts [][]int
+
+	links   map[phy.LinkID]*linkState
+	budget  *power.Budget
+	pmodel  power.Model
+	claimed map[*phy.Lane][2]topo.NodeID // donated lanes in use, by express endpoints
+
+	flows        map[host.FlowID]*host.Flow
+	active       map[host.FlowID]*host.Flow
+	nextFlow     host.FlowID
+	frameIDs     uint64
+	stats        Stats
+	stopWhenIdle bool
+	plpQueue     []plpJob
+	plpBusy      bool
+	plpServed    int
+}
+
+// New assembles a fabric over the given graph.
+func New(eng *sim.Engine, cfg Config) (*Fabric, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("fabric: config needs a graph")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("fabric: invalid topology: %w", err)
+	}
+	if cfg.ExpressPorts < 0 {
+		return nil, fmt.Errorf("fabric: negative express ports")
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 50 * sim.Microsecond
+	}
+	if cfg.CutThroughHeaderBits <= 0 {
+		cfg.CutThroughHeaderBits = 64 * 8
+	}
+	n := cfg.Graph.NumNodes()
+	f := &Fabric{
+		eng:     eng,
+		cfg:     cfg,
+		g:       cfg.Graph,
+		rng:     sim.NewRNG(cfg.Seed),
+		links:   make(map[phy.LinkID]*linkState),
+		budget:  power.NewBudget(cfg.PowerCapW),
+		pmodel:  power.DefaultModel(),
+		claimed: make(map[*phy.Lane][2]topo.NodeID),
+		flows:   make(map[host.FlowID]*host.Flow),
+		active:  make(map[host.FlowID]*host.Flow),
+		portOf:  make([]map[*topo.Edge]int, n),
+		edgeAt:  make([][]*topo.Edge, n),
+	}
+	f.stats.Latency = telemetry.NewHistogram()
+	f.stats.Hops = telemetry.NewHistogram()
+	f.stats.FCT = telemetry.NewHistogram()
+	f.freePorts = make([][]int, n)
+
+	// Port plan: 0 = host, 1..deg = fabric edges, then express spares.
+	for node := 0; node < n; node++ {
+		adj := f.g.Adjacent(topo.NodeID(node))
+		ports := 1 + len(adj) + cfg.ExpressPorts
+		f.portOf[node] = make(map[*topo.Edge]int, len(adj))
+		f.edgeAt[node] = make([]*topo.Edge, ports)
+		for i, e := range adj {
+			f.portOf[node][e] = i + 1
+			f.edgeAt[node][i+1] = e
+		}
+		for p := 1 + len(adj); p < ports; p++ {
+			f.freePorts[node] = append(f.freePorts[node], p)
+		}
+	}
+	f.switches = make([]*switching.Switch, n)
+	f.hosts = make([]*host.Host, n)
+	for node := 0; node < n; node++ {
+		node := node
+		adj := f.g.Adjacent(topo.NodeID(node))
+		swCfg := cfg.Switch
+		swCfg.Ports = 1 + len(adj) + cfg.ExpressPorts
+		f.switches[node] = switching.New(node, eng, swCfg, switching.Callbacks{
+			Forward:  func(fr *switching.Frame) (int, bool) { return f.forward(node, fr) },
+			TxTime:   func(port int, fr *switching.Frame) sim.Duration { return f.txTime(node, port, fr) },
+			Transmit: func(port int, fr *switching.Frame) { f.transmit(node, port, fr) },
+			Drop:     func(fr *switching.Frame, reason string) { f.onDrop(fr, reason) },
+			Pause:    func(port int, paused bool) { f.onPause(node, port, paused) },
+		})
+		f.hosts[node] = host.New(node, eng, cfg.Host, host.Callbacks{
+			Inject:    func(fr *switching.Frame) { f.hostInject(node, fr) },
+			NACKDelay: f.nackDelay,
+		}, &f.frameIDs, f.onFlowDone)
+	}
+	for _, e := range f.g.Edges() {
+		f.links[e.Link.ID] = &linkState{edge: e, qDelay: telemetry.NewEWMA(0.2)}
+	}
+	f.costFn = route.UniformCost
+	f.table = route.Build(f.g, f.costFn)
+	f.samplePower()
+	return f, nil
+}
+
+// Engine returns the fabric's simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Graph returns the live topology.
+func (f *Fabric) Graph() *topo.Graph { return f.g }
+
+// Stats returns the fabric-wide instruments.
+func (f *Fabric) Stats() *Stats { return &f.stats }
+
+// Hosts returns the per-node hosts.
+func (f *Fabric) Hosts() []*host.Host { return f.hosts }
+
+// Switches returns the per-node switches.
+func (f *Fabric) Switches() []*switching.Switch { return f.switches }
+
+// PowerBudget returns the rack power envelope tracker.
+func (f *Fabric) PowerBudget() *power.Budget { return f.budget }
+
+// Table returns the current routing table.
+func (f *Fabric) Table() *route.Table { return f.table }
+
+// RebuildRoutes re-derives forwarding under the given cost function and
+// remembers it for rebuilds after topology mutations.
+func (f *Fabric) RebuildRoutes(cost route.CostFunc) {
+	if cost == nil {
+		cost = route.UniformCost
+	}
+	f.costFn = cost
+	f.table = route.Build(f.g, cost)
+	if f.vlb != nil {
+		f.vlb = route.NewVLB(f.table, f.g.NumNodes())
+	}
+}
+
+// SetVLB switches the fabric between shortest-path forwarding (default)
+// and Valiant load balancing over the current table.
+func (f *Fabric) SetVLB(enabled bool) {
+	if enabled {
+		f.vlb = route.NewVLB(f.table, f.g.NumNodes())
+	} else {
+		f.vlb = nil
+	}
+}
+
+// samplePower re-prices the whole fabric and records it in the budget.
+func (f *Fabric) samplePower() {
+	var w float64
+	for _, ls := range f.links {
+		w += f.pmodel.LinkPower(ls.edge.Link)
+	}
+	for node := range f.switches {
+		active := 0
+		for _, e := range f.edgeAt[node] {
+			if e != nil && e.Link.Up() {
+				active++
+			}
+		}
+		w += f.pmodel.NodePower(active)
+	}
+	f.budget.Observe(f.eng.Now(), w)
+}
+
+// TotalPowerW returns the fabric's current draw.
+func (f *Fabric) TotalPowerW() float64 {
+	f.samplePower()
+	return f.budget.CurrentW()
+}

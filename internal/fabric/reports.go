@@ -1,0 +1,98 @@
+package fabric
+
+import (
+	"sort"
+
+	"rackfab/internal/phy"
+	"rackfab/internal/ringctl"
+	"rackfab/internal/sim"
+)
+
+// Reports snapshots every link's telemetry for the Closed Ring Control
+// (the fabric side of PLP #5). Utilization windows reset on each call, so
+// successive reports cover disjoint intervals — exactly what a circulating
+// collection token would see.
+func (f *Fabric) Reports() []ringctl.LinkReport {
+	now := f.eng.Now()
+	ids := make([]int, 0, len(f.links))
+	for id := range f.links {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	reports := make([]ringctl.LinkReport, 0, len(ids))
+	for _, id := range ids {
+		ls := f.links[phy.LinkID(id)]
+		link := ls.edge.Link
+		window := now.Sub(ls.windowStart)
+		util := 0.0
+		if window > 0 {
+			busy := ls.busyPs[0]
+			if ls.busyPs[1] > busy {
+				busy = ls.busyPs[1]
+			}
+			util = float64(busy) / float64(window)
+			if util > 1 {
+				util = 1
+			}
+		}
+		ls.busyPs[0], ls.busyPs[1] = 0, 0
+		ls.windowStart = now
+
+		// Windowed receiver BER: errors over bits since the last report.
+		var bits, errs int64
+		for _, lane := range link.Lanes {
+			bits += lane.Stats.BitsCarried.Value()
+			errs += lane.Stats.PreFECBitErrors.Value()
+		}
+		if db := bits - ls.prevBits; db > 0 {
+			ls.lastBER = float64(errs-ls.prevErrs) / float64(db)
+			ls.prevBits, ls.prevErrs = bits, errs
+		}
+
+		reports = append(reports, ringctl.LinkReport{
+			Link:          link.ID,
+			Utilization:   util,
+			QueueDelay:    sim.Duration(ls.qDelay.Value()),
+			MeasuredBER:   ls.lastBER,
+			EffectiveRate: link.EffectiveRate(),
+			PowerW:        f.pmodel.LinkPower(link),
+			ActiveLanes:   link.ActiveLanes(),
+			TotalLanes:    len(link.Lanes),
+			Media:         link.Media,
+			Up:            link.Up(),
+		})
+	}
+	f.samplePower()
+	return reports
+}
+
+// TopFlows returns up to k in-flight flows ordered by bytes remaining —
+// the elephants the bypass policy considers.
+func (f *Fabric) TopFlows(k int) []ringctl.FlowSnapshot {
+	now := f.eng.Now()
+	snaps := make([]ringctl.FlowSnapshot, 0, len(f.active))
+	for _, fl := range f.active {
+		elapsed := now.Sub(fl.Started()).Seconds()
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(fl.AckedBytes()) * 8 / elapsed
+		}
+		snaps = append(snaps, ringctl.FlowSnapshot{
+			ID:             uint64(fl.ID),
+			Src:            fl.Src,
+			Dst:            fl.Dst,
+			BytesRemaining: fl.Remaining(),
+			Rate:           rate,
+		})
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].BytesRemaining != snaps[j].BytesRemaining {
+			return snaps[i].BytesRemaining > snaps[j].BytesRemaining
+		}
+		return snaps[i].ID < snaps[j].ID
+	})
+	if len(snaps) > k {
+		snaps = snaps[:k]
+	}
+	return snaps
+}

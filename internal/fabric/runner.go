@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"rackfab/internal/host"
+	"rackfab/internal/sim"
+	"rackfab/internal/workload"
+)
+
+// InjectFlows schedules a workload's flows into the fabric and returns the
+// flow handles. Specs are validated against the fabric size.
+func (f *Fabric) InjectFlows(specs []workload.FlowSpec) ([]*host.Flow, error) {
+	if err := workload.ValidateSpecs(specs, f.g.NumNodes()); err != nil {
+		return nil, err
+	}
+	flows := make([]*host.Flow, 0, len(specs))
+	for _, spec := range specs {
+		f.nextFlow++
+		fl := &host.Flow{
+			ID:    f.nextFlow,
+			Src:   spec.Src,
+			Dst:   spec.Dst,
+			Bytes: spec.Bytes,
+			Label: spec.Label,
+		}
+		f.flows[fl.ID] = fl
+		f.active[fl.ID] = fl
+		flows = append(flows, fl)
+		at := spec.At
+		if at < f.eng.Now() {
+			at = f.eng.Now()
+		}
+		f.eng.At(at, "flow-start", func() { f.hosts[fl.Src].StartFlow(fl) })
+	}
+	return flows, nil
+}
+
+// onFlowDone is the completion hook shared by all hosts.
+func (f *Fabric) onFlowDone(fl *host.Flow) {
+	delete(f.active, fl.ID)
+	f.stats.FlowsCompleted.Inc()
+	f.stats.FCT.Record(int64(fl.FCT()))
+	if len(f.active) == 0 && f.stopWhenIdle {
+		f.eng.Stop()
+	}
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (f *Fabric) ActiveFlows() int { return len(f.active) }
+
+// Flows returns all flows ever injected, in ID order.
+func (f *Fabric) Flows() []*host.Flow {
+	out := make([]*host.Flow, 0, len(f.flows))
+	for id := host.FlowID(1); id <= f.nextFlow; id++ {
+		if fl, ok := f.flows[id]; ok {
+			out = append(out, fl)
+		}
+	}
+	return out
+}
+
+// RunUntilDone executes the simulation until every injected flow completes
+// or the time limit passes. It returns an error when flows remain
+// unfinished at the limit (including failed flows).
+func (f *Fabric) RunUntilDone(limit sim.Time) error {
+	f.stopWhenIdle = true
+	defer func() { f.stopWhenIdle = false }()
+	if len(f.active) == 0 {
+		return nil
+	}
+	err := f.eng.RunUntil(limit)
+	if err != nil && !errors.Is(err, sim.ErrStopped) {
+		return err
+	}
+	if n := len(f.active); n > 0 {
+		failed := 0
+		for _, fl := range f.active {
+			if fl.Failed() {
+				failed++
+			}
+		}
+		f.stats.FlowsFailed.Add(int64(failed))
+		return fmt.Errorf("fabric: %d flows unfinished at %v (%d failed)", n, f.eng.Now(), failed)
+	}
+	return nil
+}
+
+// RunFor executes the simulation for a fixed duration regardless of flow
+// state (open-loop experiments).
+func (f *Fabric) RunFor(d sim.Duration) error {
+	err := f.eng.RunUntil(f.eng.Now().Add(d))
+	if errors.Is(err, sim.ErrStopped) {
+		return nil
+	}
+	return err
+}
+
+// JobCompletionTime returns the barrier completion time of a flow group:
+// the latest FCT endpoint among them (MapReduce's "reducer waits for all
+// mappers"). It errors if any flow is unfinished.
+func JobCompletionTime(flows []*host.Flow) (sim.Duration, error) {
+	if len(flows) == 0 {
+		return 0, fmt.Errorf("fabric: empty job")
+	}
+	var earliest, latest sim.Time
+	for i, fl := range flows {
+		if !fl.Done() {
+			return 0, fmt.Errorf("fabric: flow %d unfinished", fl.ID)
+		}
+		start := fl.Started()
+		end := fl.Started().Add(fl.FCT())
+		if i == 0 || start.Before(earliest) {
+			earliest = start
+		}
+		if end.After(latest) {
+			latest = end
+		}
+	}
+	return latest.Sub(earliest), nil
+}

@@ -1,0 +1,154 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: GF(256) forms a field — associativity, commutativity,
+// distributivity, identities, inverses.
+func TestFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(10))}
+
+	t.Run("add-commutes", func(t *testing.T) {
+		if err := quick.Check(func(a, b byte) bool { return gfAdd(a, b) == gfAdd(b, a) }, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("mul-commutes", func(t *testing.T) {
+		if err := quick.Check(func(a, b byte) bool { return gfMul(a, b) == gfMul(b, a) }, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("mul-associates", func(t *testing.T) {
+		if err := quick.Check(func(a, b, c byte) bool {
+			return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+		}, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("distributes", func(t *testing.T) {
+		if err := quick.Check(func(a, b, c byte) bool {
+			return gfMul(a, gfAdd(b, c)) == gfAdd(gfMul(a, b), gfMul(a, c))
+		}, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("identities", func(t *testing.T) {
+		if err := quick.Check(func(a byte) bool {
+			return gfMul(a, 1) == a && gfAdd(a, 0) == a && gfAdd(a, a) == 0
+		}, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("inverses", func(t *testing.T) {
+		for a := 1; a < 256; a++ {
+			if gfMul(byte(a), gfInv(byte(a))) != 1 {
+				t.Fatalf("inv(%d) broken", a)
+			}
+		}
+	})
+	t.Run("div-mul-roundtrip", func(t *testing.T) {
+		if err := quick.Check(func(a, b byte) bool {
+			if b == 0 {
+				return true
+			}
+			return gfMul(gfDiv(a, b), b) == a
+		}, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestGfPow(t *testing.T) {
+	if gfPow(0, 0) != 1 {
+		t.Fatal("0^0 should be 1 by convention")
+	}
+	if gfPow(0, 5) != 0 {
+		t.Fatal("0^5 should be 0")
+	}
+	for a := 1; a < 256; a++ {
+		// a^255 = 1 in the multiplicative group of order 255.
+		if gfPow(byte(a), 255) != 1 {
+			t.Fatalf("a=%d: a^255 != 1", a)
+		}
+	}
+	// Compare against repeated multiplication.
+	for _, a := range []byte{2, 3, 29, 255} {
+		acc := byte(1)
+		for n := 0; n < 20; n++ {
+			if got := gfPow(a, n); got != acc {
+				t.Fatalf("gfPow(%d,%d) = %d, want %d", a, n, got, acc)
+			}
+			acc = gfMul(acc, a)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gfInv(0)
+}
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = 2x^2 + 3x + 5 at x=1 is 2^3^5 = 4 (XOR in GF(2^8)).
+	p := []byte{2, 3, 5}
+	if got := polyEval(p, 1); got != 2^3^5 {
+		t.Fatalf("polyEval = %d", got)
+	}
+	// p(0) is the constant term.
+	if got := polyEval(p, 0); got != 5 {
+		t.Fatalf("polyEval(0) = %d", got)
+	}
+}
+
+// Property: polynomial evaluation is linear — (a+b)(x) = a(x)+b(x) — and
+// multiplication is compatible — (a·b)(x) = a(x)·b(x).
+func TestPolyAlgebraProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}
+	f := func(araw, braw []byte, x byte) bool {
+		if len(araw) == 0 || len(braw) == 0 {
+			return true
+		}
+		if len(araw) > 16 {
+			araw = araw[:16]
+		}
+		if len(braw) > 16 {
+			braw = braw[:16]
+		}
+		sum := polyAdd(araw, braw)
+		if polyEval(sum, x) != gfAdd(polyEval(araw, x), polyEval(braw, x)) {
+			return false
+		}
+		prod := polyMul(araw, braw)
+		return polyEval(prod, x) == gfMul(polyEval(araw, x), polyEval(braw, x))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyScaleTrim(t *testing.T) {
+	p := []byte{0, 0, 3, 1}
+	if got := polyTrim(p); len(got) != 2 || got[0] != 3 {
+		t.Fatalf("polyTrim = %v", got)
+	}
+	s := polyScale([]byte{1, 2}, 3)
+	if s[0] != gfMul(1, 3) || s[1] != gfMul(2, 3) {
+		t.Fatalf("polyScale = %v", s)
+	}
+}

@@ -1,0 +1,111 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingShape(t *testing.T) {
+	c := NewHamming7264()
+	if c.DataLen() != 8 || c.BlockLen() != 9 {
+		t.Fatalf("shape %d/%d", c.DataLen(), c.BlockLen())
+	}
+}
+
+func TestHammingClean(t *testing.T) {
+	c := NewHamming7264()
+	data := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67}
+	block := c.Encode(nil, data)
+	got, corrected, err := c.Decode(block)
+	if err != nil || corrected != 0 || !bytes.Equal(got, data) {
+		t.Fatalf("clean decode corrected=%d err=%v got=%x", corrected, err, got)
+	}
+}
+
+func TestHammingCorrectsEverySingleBit(t *testing.T) {
+	c := NewHamming7264()
+	data := []byte{0xa5, 0x5a, 0xff, 0x00, 0x13, 0x37, 0x42, 0x99}
+	clean := c.Encode(nil, data)
+	for bit := 0; bit < 72; bit++ {
+		block := make([]byte, 9)
+		copy(block, clean)
+		block[bit/8] ^= 1 << (uint(bit) % 8)
+		got, corrected, err := c.Decode(block)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if corrected != 1 {
+			t.Fatalf("bit %d: corrected = %d", bit, corrected)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("bit %d: wrong data", bit)
+		}
+	}
+}
+
+func TestHammingDetectsDoubleBit(t *testing.T) {
+	c := NewHamming7264()
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	clean := c.Encode(nil, data)
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 200; trial++ {
+		block := make([]byte, 9)
+		copy(block, clean)
+		a := rng.Intn(72)
+		b := rng.Intn(72)
+		for b == a {
+			b = rng.Intn(72)
+		}
+		block[a/8] ^= 1 << (uint(a) % 8)
+		block[b/8] ^= 1 << (uint(b) % 8)
+		if _, _, err := c.Decode(block); !errors.Is(err, ErrUncorrectable) {
+			t.Fatalf("double error (%d,%d) not detected: %v", a, b, err)
+		}
+	}
+}
+
+// Property: any payload round-trips through encode/decode with ≤1 bit error.
+func TestHammingRoundTripProperty(t *testing.T) {
+	c := NewHamming7264()
+	f := func(data [8]byte, bitRaw uint8, inject bool) bool {
+		block := c.Encode(nil, data[:])
+		if inject {
+			bit := int(bitRaw) % 72
+			block[bit/8] ^= 1 << (uint(bit) % 8)
+		}
+		got, corrected, err := c.Decode(block)
+		if err != nil {
+			return false
+		}
+		if inject && corrected != 1 {
+			return false
+		}
+		return bytes.Equal(got, data[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingLossModel(t *testing.T) {
+	c := NewHamming7264()
+	none := NewNone(8)
+	// SECDED must beat no-FEC for small BER.
+	for _, ber := range []float64{1e-9, 1e-7, 1e-6} {
+		if c.FrameLossProb(ber, 12000) >= none.FrameLossProb(ber, 12000) {
+			t.Fatalf("secded worse than none at %v", ber)
+		}
+	}
+	if c.FrameLossProb(0, 12000) != 0 {
+		t.Fatal("zero BER loses frames")
+	}
+}
+
+func TestPopcount8(t *testing.T) {
+	if popcount8(0xff) != 8 || popcount8(0) != 0 || popcount8(0x11) != 2 {
+		t.Fatal("popcount broken")
+	}
+}

@@ -1,0 +1,142 @@
+package fec
+
+import "fmt"
+
+// Block interleaving: the classic companion to Reed–Solomon on bursty
+// channels. An RS(n,k) code corrects t symbol errors per block; a burst of
+// B consecutive corrupted symbols concentrated in one block defeats it at
+// B > t. Interleaving depth D writes D code blocks column-wise onto the
+// wire, so a wire burst of B symbols lands ⌈B/D⌉ errors in each block —
+// the burst is "whitened" into the i.i.d. regime the analytic loss model
+// assumes. The price is latency: the receiver must buffer D blocks before
+// the first can decode.
+
+// Interleaver performs (de)interleaving of fixed-size blocks.
+type Interleaver struct {
+	// Depth is the number of blocks interleaved together.
+	Depth int
+	// BlockLen is the size of each block in bytes.
+	BlockLen int
+}
+
+// NewInterleaver validates and returns an interleaver.
+func NewInterleaver(depth, blockLen int) (*Interleaver, error) {
+	if depth < 2 {
+		return nil, fmt.Errorf("fec: interleaver depth %d must be ≥2", depth)
+	}
+	if blockLen < 1 {
+		return nil, fmt.Errorf("fec: interleaver block length %d must be ≥1", blockLen)
+	}
+	return &Interleaver{Depth: depth, BlockLen: blockLen}, nil
+}
+
+// GroupLen is the wire size of one interleaved group.
+func (il *Interleaver) GroupLen() int { return il.Depth * il.BlockLen }
+
+// Interleave writes depth consecutive blocks column-wise: output position
+// j*Depth+i holds block i's byte j. The input length must be exactly
+// GroupLen.
+func (il *Interleaver) Interleave(dst, group []byte) ([]byte, error) {
+	if len(group) != il.GroupLen() {
+		return nil, fmt.Errorf("fec: interleave input %d bytes, want %d", len(group), il.GroupLen())
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, il.GroupLen())...)
+	out := dst[start:]
+	for i := 0; i < il.Depth; i++ {
+		block := group[i*il.BlockLen : (i+1)*il.BlockLen]
+		for j, b := range block {
+			out[j*il.Depth+i] = b
+		}
+	}
+	return dst, nil
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(dst, wire []byte) ([]byte, error) {
+	if len(wire) != il.GroupLen() {
+		return nil, fmt.Errorf("fec: deinterleave input %d bytes, want %d", len(wire), il.GroupLen())
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, il.GroupLen())...)
+	out := dst[start:]
+	for i := 0; i < il.Depth; i++ {
+		for j := 0; j < il.BlockLen; j++ {
+			out[i*il.BlockLen+j] = wire[j*il.Depth+i]
+		}
+	}
+	return dst, nil
+}
+
+// interleavedCode wraps an inner block code with depth-D interleaving.
+// DataLen/BlockLen scale by D; a wire burst of B symbols costs each inner
+// block at most ⌈B/D⌉ errors.
+type interleavedCode struct {
+	inner Code
+	il    *Interleaver
+}
+
+// NewInterleaved wraps code with a depth-D interleaver.
+func NewInterleaved(inner Code, depth int) (Code, error) {
+	il, err := NewInterleaver(depth, inner.BlockLen())
+	if err != nil {
+		return nil, err
+	}
+	return &interleavedCode{inner: inner, il: il}, nil
+}
+
+func (c *interleavedCode) Name() string {
+	return fmt.Sprintf("%s@il%d", c.inner.Name(), c.il.Depth)
+}
+
+func (c *interleavedCode) DataLen() int  { return c.inner.DataLen() * c.il.Depth }
+func (c *interleavedCode) BlockLen() int { return c.inner.BlockLen() * c.il.Depth }
+
+// Encode encodes D inner blocks and interleaves them onto the wire.
+func (c *interleavedCode) Encode(dst, data []byte) []byte {
+	if len(data) != c.DataLen() {
+		panic(fmt.Sprintf("fec: interleaved encode len %d, want %d", len(data), c.DataLen()))
+	}
+	group := make([]byte, 0, c.BlockLen())
+	k := c.inner.DataLen()
+	for i := 0; i < c.il.Depth; i++ {
+		group = c.inner.Encode(group, data[i*k:(i+1)*k])
+	}
+	out, err := c.il.Interleave(dst, group)
+	if err != nil {
+		panic(err) // sizes are internally consistent
+	}
+	return out
+}
+
+// Decode deinterleaves and decodes every inner block; the corrected count
+// sums across blocks, and any uncorrectable inner block fails the group.
+func (c *interleavedCode) Decode(block []byte) ([]byte, int, error) {
+	if len(block) != c.BlockLen() {
+		return nil, 0, fmt.Errorf("fec: interleaved decode len %d, want %d", len(block), c.BlockLen())
+	}
+	group, err := c.il.Deinterleave(nil, block)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := c.inner.BlockLen()
+	out := make([]byte, 0, c.DataLen())
+	corrected := 0
+	for i := 0; i < c.il.Depth; i++ {
+		data, fixed, err := c.inner.Decode(group[i*n : (i+1)*n])
+		if err != nil {
+			return nil, corrected, fmt.Errorf("inner block %d: %w", i, err)
+		}
+		corrected += fixed
+		out = append(out, data...)
+	}
+	return out, corrected, nil
+}
+
+// FrameLossProb inherits the inner code's i.i.d. model: interleaving is
+// exactly the mechanism that makes the i.i.d. assumption hold on bursty
+// wires, so the analytic curve is unchanged (the latency cost is carried
+// by the Profile, not the code).
+func (c *interleavedCode) FrameLossProb(ber float64, frameBits int) float64 {
+	return c.inner.FrameLossProb(ber, frameBits)
+}

@@ -1,0 +1,171 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaverValidation(t *testing.T) {
+	if _, err := NewInterleaver(1, 10); err == nil {
+		t.Error("depth 1 accepted")
+	}
+	if _, err := NewInterleaver(4, 0); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	il, err := NewInterleaver(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := make([]byte, il.GroupLen())
+	for i := range group {
+		group[i] = byte(i)
+	}
+	wire, err := il.Interleave(nil, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := il.Deinterleave(nil, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, group) {
+		t.Fatalf("round trip broken:\n%v\n%v", group, back)
+	}
+	// Column-wise layout: wire[0..depth) holds each block's byte 0.
+	for i := 0; i < 4; i++ {
+		if wire[i] != group[i*6] {
+			t.Fatalf("wire[%d] = %d, want block %d's first byte %d", i, wire[i], i, group[i*6])
+		}
+	}
+}
+
+func TestInterleaverLengthChecks(t *testing.T) {
+	il, _ := NewInterleaver(3, 5)
+	if _, err := il.Interleave(nil, make([]byte, 7)); err == nil {
+		t.Error("bad interleave length accepted")
+	}
+	if _, err := il.Deinterleave(nil, make([]byte, 7)); err == nil {
+		t.Error("bad deinterleave length accepted")
+	}
+}
+
+// Property: interleave/deinterleave are inverse bijections.
+func TestInterleaveBijectionProperty(t *testing.T) {
+	f := func(depthRaw, blockRaw uint8, seed int64) bool {
+		depth := 2 + int(depthRaw)%8
+		blockLen := 1 + int(blockRaw)%32
+		il, err := NewInterleaver(depth, blockLen)
+		if err != nil {
+			return false
+		}
+		group := make([]byte, il.GroupLen())
+		rand.New(rand.NewSource(seed)).Read(group)
+		wire, err := il.Interleave(nil, group)
+		if err != nil {
+			return false
+		}
+		back, err := il.Deinterleave(nil, wire)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, group)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(131))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedCodeCleanRoundTrip(t *testing.T) {
+	inner := MustRS(64, 48)
+	c, err := NewInterleaved(inner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DataLen() != 4*48 || c.BlockLen() != 4*64 {
+		t.Fatalf("shape %d/%d", c.DataLen(), c.BlockLen())
+	}
+	data := make([]byte, c.DataLen())
+	rand.New(rand.NewSource(1)).Read(data)
+	wire := c.Encode(nil, data)
+	got, corrected, err := c.Decode(wire)
+	if err != nil || corrected != 0 || !bytes.Equal(got, data) {
+		t.Fatalf("clean decode corrected=%d err=%v", corrected, err)
+	}
+	if c.Name() != "rs(64,48)@il4" {
+		t.Fatalf("name = %s", c.Name())
+	}
+}
+
+// The whole point: a wire burst longer than the inner t survives when
+// spread across the interleaved blocks.
+func TestInterleavingDefeatsBursts(t *testing.T) {
+	inner := MustRS(64, 48) // t = 8 per block
+	depth := 4
+	c, err := NewInterleaved(inner, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, c.DataLen())
+	rng.Read(data)
+	clean := c.Encode(nil, data)
+
+	// Burst of 24 consecutive wire symbols: 24 > t=8 would kill a single
+	// RS(64,48) block, but spread over depth 4 it costs each block 6 ≤ t.
+	const burst = 24
+	start := rng.Intn(len(clean) - burst)
+	wire := append([]byte(nil), clean...)
+	for i := 0; i < burst; i++ {
+		wire[start+i] ^= byte(1 + rng.Intn(255))
+	}
+	got, corrected, err := c.Decode(wire)
+	if err != nil {
+		t.Fatalf("interleaved decode failed on %d-symbol burst: %v", burst, err)
+	}
+	if corrected == 0 || !bytes.Equal(got, data) {
+		t.Fatalf("burst not corrected (corrected=%d)", corrected)
+	}
+
+	// Control: the same burst inside one bare RS(64,48) block is fatal.
+	bare := inner
+	bdata := make([]byte, bare.DataLen())
+	rng.Read(bdata)
+	bwire := bare.Encode(nil, bdata)
+	for i := 0; i < burst && i < len(bwire); i++ {
+		bwire[i] ^= byte(1 + rng.Intn(255))
+	}
+	if _, _, err := bare.Decode(bwire); err == nil {
+		t.Fatal("bare RS survived a 24-symbol burst with t=8?")
+	}
+}
+
+func TestInterleavedCodeFailsOnOverload(t *testing.T) {
+	inner := MustRS(64, 48)
+	c, _ := NewInterleaved(inner, 2)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, c.DataLen())
+	rng.Read(data)
+	wire := c.Encode(nil, data)
+	// Burst of 2*(t+? ) — 40 symbols over depth 2 = 20 per block > t=8.
+	for i := 0; i < 40; i++ {
+		wire[i] ^= byte(1 + rng.Intn(255))
+	}
+	if _, _, err := c.Decode(wire); err == nil {
+		t.Fatal("overloaded interleaved code decoded")
+	}
+}
+
+func TestInterleavedLossModelMatchesInner(t *testing.T) {
+	inner := MustRS(255, 239)
+	c, _ := NewInterleaved(inner, 4)
+	for _, ber := range []float64{1e-9, 1e-6, 1e-5} {
+		if c.FrameLossProb(ber, 12000) != inner.FrameLossProb(ber, 12000) {
+			t.Fatal("interleaved loss model diverged from inner")
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package fluid is the flow-level companion engine to the packet-level
+// fabric: flows are fluid streams sharing link capacity max-min fairly,
+// and events are only flow arrivals and completions.
+//
+// The paper's evaluation plan scales from a hardware-validated small
+// simulation to "hundreds to thousands of connected nodes". Packet-level
+// simulation at 1024 nodes is event-bound (every frame × every hop), so —
+// exactly like the paper's own methodology — the large-scale sweep runs on
+// this coarser engine after cross-validating it against the packet engine
+// on small fabrics (experiment E8).
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rackfab/internal/route"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// Config parameterizes a fluid run.
+type Config struct {
+	// Graph is the topology; link capacities come from EffectiveRate.
+	Graph *topo.Graph
+	// PerHopLatency is added to each flow's completion time per path hop
+	// (the switch traversal the packet engine simulates in full).
+	PerHopLatency sim.Duration
+	// Limit bounds simulated time (0 = none).
+	Limit sim.Time
+}
+
+// FlowResult is one completed flow.
+type FlowResult struct {
+	Spec  workload.FlowSpec
+	Start sim.Time
+	FCT   sim.Duration
+	Hops  int
+}
+
+// Result summarizes a fluid run.
+type Result struct {
+	Flows []FlowResult
+	// MeanFCT and P99FCT summarize completion times.
+	MeanFCT, P99FCT sim.Duration
+	// JCT is the barrier completion time across all flows.
+	JCT sim.Duration
+	// Events counts arrival/completion events processed.
+	Events int
+}
+
+// flowState is one in-flight fluid flow.
+type flowState struct {
+	spec      workload.FlowSpec
+	path      []*topo.Edge
+	remaining float64 // bits
+	rate      float64 // bit/s, set by the max-min allocation
+	start     sim.Time
+}
+
+// Run executes the fluid simulation over the given specs.
+func Run(cfg Config, specs []workload.FlowSpec) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("fluid: config needs a graph")
+	}
+	if err := workload.ValidateSpecs(specs, cfg.Graph.NumNodes()); err != nil {
+		return nil, err
+	}
+	if cfg.PerHopLatency <= 0 {
+		cfg.PerHopLatency = 450 * sim.Nanosecond
+	}
+	if cfg.Limit == 0 {
+		cfg.Limit = sim.Forever
+	}
+	table := route.Build(cfg.Graph, route.UniformCost)
+
+	// Arrival queue sorted by time.
+	pending := append([]workload.FlowSpec(nil), specs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].At < pending[j].At })
+
+	active := make(map[*flowState]struct{})
+	res := &Result{}
+	now := sim.Time(0)
+
+	for len(pending) > 0 || len(active) > 0 {
+		// Next completion under current rates.
+		nextDone := sim.Forever
+		var doneFlow *flowState
+		for f := range active {
+			if f.rate <= 0 {
+				continue
+			}
+			t := now.Add(sim.Seconds(f.remaining / f.rate))
+			if t < nextDone {
+				nextDone, doneFlow = t, f
+			}
+		}
+		nextArrival := sim.Forever
+		if len(pending) > 0 {
+			nextArrival = pending[0].At
+			if nextArrival < now {
+				nextArrival = now
+			}
+		}
+		next := nextDone
+		if nextArrival < next {
+			next = nextArrival
+		}
+		if next == sim.Forever {
+			return nil, fmt.Errorf("fluid: stalled at %v with %d active flows and no progress", now, len(active))
+		}
+		if next > cfg.Limit {
+			return nil, fmt.Errorf("fluid: time limit %v exceeded with %d flows left", cfg.Limit, len(active)+len(pending))
+		}
+
+		// Advance fluid state to `next`.
+		dt := next.Sub(now).Seconds()
+		for f := range active {
+			f.remaining -= f.rate * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		now = next
+		res.Events++
+
+		switch {
+		case next == nextArrival && len(pending) > 0:
+			spec := pending[0]
+			pending = pending[1:]
+			path, err := table.Path(topo.NodeID(spec.Src), topo.NodeID(spec.Dst))
+			if err != nil {
+				return nil, fmt.Errorf("fluid: routing flow %d→%d: %w", spec.Src, spec.Dst, err)
+			}
+			f := &flowState{
+				spec:      spec,
+				path:      path,
+				remaining: float64(spec.Bytes) * 8,
+				start:     now,
+			}
+			active[f] = struct{}{}
+		default:
+			delete(active, doneFlow)
+			fct := now.Sub(doneFlow.start) +
+				sim.Duration(int64(cfg.PerHopLatency)*int64(len(doneFlow.path)))
+			res.Flows = append(res.Flows, FlowResult{
+				Spec:  doneFlow.spec,
+				Start: doneFlow.start,
+				FCT:   fct,
+				Hops:  len(doneFlow.path),
+			})
+		}
+		allocate(active)
+	}
+	summarize(res)
+	return res, nil
+}
+
+// allocate computes the max-min fair rate for every active flow by
+// progressive filling: repeatedly find the tightest link (least capacity
+// per unfrozen flow), freeze its flows at that fair share, subtract, and
+// continue until every flow is frozen. The structures are flat slices —
+// this runs on every arrival/completion event of a 1000-node sweep.
+func allocate(active map[*flowState]struct{}) {
+	if len(active) == 0 {
+		return
+	}
+	type linkLoad struct {
+		cap      float64
+		unfrozen int
+		flows    []*flowState
+	}
+	idx := make(map[*topo.Edge]int)
+	links := make([]*linkLoad, 0, 4*len(active))
+	flowLinks := make(map[*flowState][]int, len(active))
+	for f := range active {
+		f.rate = -1 // unfrozen marker
+		lis := make([]int, 0, len(f.path))
+		for _, e := range f.path {
+			li, ok := idx[e]
+			if !ok {
+				li = len(links)
+				idx[e] = li
+				links = append(links, &linkLoad{cap: e.Link.EffectiveRate()})
+			}
+			links[li].unfrozen++
+			links[li].flows = append(links[li].flows, f)
+			lis = append(lis, li)
+		}
+		flowLinks[f] = lis
+	}
+	remaining := len(active)
+	for remaining > 0 {
+		bottleneck := math.Inf(1)
+		tight := -1
+		for li, ll := range links {
+			if ll.unfrozen == 0 {
+				continue
+			}
+			if share := ll.cap / float64(ll.unfrozen); share < bottleneck {
+				bottleneck, tight = share, li
+			}
+		}
+		if tight < 0 {
+			for f := range active {
+				if f.rate < 0 {
+					f.rate = 0
+				}
+			}
+			return
+		}
+		for _, f := range links[tight].flows {
+			if f.rate >= 0 {
+				continue // already frozen via another link
+			}
+			f.rate = bottleneck
+			remaining--
+			for _, li := range flowLinks[f] {
+				ll := links[li]
+				ll.unfrozen--
+				ll.cap -= bottleneck
+				if ll.cap < 0 {
+					ll.cap = 0
+				}
+			}
+		}
+	}
+}
+
+// summarize fills the aggregate fields.
+func summarize(res *Result) {
+	if len(res.Flows) == 0 {
+		return
+	}
+	fcts := make([]sim.Duration, len(res.Flows))
+	var sum float64
+	var latest sim.Time
+	var earliest = res.Flows[0].Start
+	for i, f := range res.Flows {
+		fcts[i] = f.FCT
+		sum += float64(f.FCT)
+		if end := f.Start.Add(f.FCT); end > latest {
+			latest = end
+		}
+		if f.Start < earliest {
+			earliest = f.Start
+		}
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	res.MeanFCT = sim.Duration(sum / float64(len(fcts)))
+	res.P99FCT = fcts[(len(fcts)-1)*99/100]
+	res.JCT = latest.Sub(earliest)
+}

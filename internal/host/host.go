@@ -1,0 +1,303 @@
+// Package host models the end systems of the rack: NICs, flow senders, and
+// receivers. Hosts are deliberately ordinary — the paper's backwards-
+// compatibility commitment means "existing applications benefit from the
+// architecture with no required change" — so this layer is a plain NIC
+// queue, MTU-sized framing, and a NACK-based retransmit scheme for frames
+// the FEC could not save. All adaptivity lives below it.
+package host
+
+import (
+	"fmt"
+
+	"rackfab/internal/netstack"
+	"rackfab/internal/sim"
+	"rackfab/internal/switching"
+	"rackfab/internal/telemetry"
+)
+
+// FlowID identifies a flow within a run.
+type FlowID uint64
+
+// Flow is one transfer of Bytes from Src to Dst.
+type Flow struct {
+	ID    FlowID
+	Src   int
+	Dst   int
+	Bytes int64
+	// Label groups flows for reporting (e.g. "shuffle", "background").
+	Label string
+
+	// progress
+	started    sim.Time
+	finished   sim.Time
+	done       bool
+	failed     bool
+	sentBytes  int64 // bytes handed to the NIC (first transmission only)
+	ackedBytes int64 // bytes delivered clean
+	frames     int64
+	retx       int64
+}
+
+// Failed reports the flow was abandoned after MaxRetries on some frame.
+func (f *Flow) Failed() bool { return f.failed }
+
+// AckedBytes returns bytes delivered clean so far.
+func (f *Flow) AckedBytes() int64 { return f.ackedBytes }
+
+// Remaining returns bytes not yet delivered clean.
+func (f *Flow) Remaining() int64 { return f.Bytes - f.ackedBytes }
+
+// Started returns the injection time of the flow's first frame.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Done reports completion.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the flow completion time; it panics on unfinished flows.
+func (f *Flow) FCT() sim.Duration {
+	if !f.done {
+		panic(fmt.Sprintf("host: FCT of unfinished flow %d", f.ID))
+	}
+	return f.finished.Sub(f.started)
+}
+
+// Retransmits returns the number of retransmitted frames.
+func (f *Flow) Retransmits() int64 { return f.retx }
+
+// FrameCtx is the per-frame transport context carried in
+// switching.Frame.Meta.
+type FrameCtx struct {
+	Flow *Flow
+	// Seq is the frame index within the flow.
+	Seq int64
+	// PayloadBytes is the frame's payload size.
+	PayloadBytes int
+	// Corrupt marks a frame poisoned by an uncorrectable FEC block; the
+	// receiving NIC detects it on the final FCS check and NACKs.
+	Corrupt bool
+	// Retransmit marks a NACK- or drop-triggered resend.
+	Retransmit bool
+	// Retries counts resend attempts for this frame.
+	Retries int
+}
+
+// MaxRetries bounds per-frame resend attempts; a frame exceeding it marks
+// its flow failed rather than looping forever (e.g. a permanently
+// disconnected destination).
+const MaxRetries = 1000
+
+// Config sizes a host.
+type Config struct {
+	// NICRate is the host injection rate in bit/s.
+	NICRate float64
+	// MTU is the payload bytes per frame.
+	MTU int
+}
+
+// DefaultConfig matches a 100G host NIC.
+func DefaultConfig() Config {
+	return Config{NICRate: 100e9, MTU: 1500}
+}
+
+// Callbacks connect a host to the fabric.
+type Callbacks struct {
+	// Inject hands a frame to the local switch's host port. The fabric
+	// owns onward delivery.
+	Inject func(f *switching.Frame)
+	// NACKDelay estimates the control-plane delay for a corruption NACK
+	// from dst back to src (reverse-path latency without queueing).
+	NACKDelay func(src, dst int) sim.Duration
+}
+
+// Stats is the per-host instrument block.
+type Stats struct {
+	FramesSent      telemetry.Counter
+	FramesDelivered telemetry.Counter
+	FramesCorrupt   telemetry.Counter
+	BytesDelivered  telemetry.Counter
+}
+
+// Host is one node's end system: NIC send queue plus receive side.
+type Host struct {
+	node int
+	eng  *sim.Engine
+	cfg  Config
+	cb   Callbacks
+
+	sendQ     []*switching.Frame
+	nicBusy   bool
+	paused    bool
+	stats     Stats
+	nextFrame *uint64 // shared frame-ID allocator
+	onDone    func(*Flow)
+}
+
+// SetPaused applies fabric backpressure to the NIC: a paused NIC finishes
+// the in-flight frame but injects nothing further until released.
+func (h *Host) SetPaused(paused bool) {
+	if h.paused == paused {
+		return
+	}
+	h.paused = paused
+	if !paused {
+		h.pump()
+	}
+}
+
+// Paused reports whether the NIC is currently held by backpressure.
+func (h *Host) Paused() bool { return h.paused }
+
+// New builds a host for node. frameIDs is the run-wide frame ID allocator
+// shared by all hosts; onFlowDone (optional) fires at flow completion.
+func New(node int, eng *sim.Engine, cfg Config, cb Callbacks, frameIDs *uint64, onFlowDone func(*Flow)) *Host {
+	if cfg.NICRate <= 0 || cfg.MTU <= 0 {
+		panic("host: invalid config")
+	}
+	if cb.Inject == nil {
+		panic("host: Inject callback required")
+	}
+	return &Host{node: node, eng: eng, cfg: cfg, cb: cb, nextFrame: frameIDs, onDone: onFlowDone}
+}
+
+// Node returns the host's node ID.
+func (h *Host) Node() int { return h.node }
+
+// Stats returns the instrument block.
+func (h *Host) Stats() *Stats { return &h.stats }
+
+// StartFlow begins transmitting a flow from this host. The flow must
+// originate here.
+func (h *Host) StartFlow(f *Flow) {
+	if f.Src != h.node {
+		panic(fmt.Sprintf("host %d: flow %d originates at %d", h.node, f.ID, f.Src))
+	}
+	if f.Bytes <= 0 {
+		panic(fmt.Sprintf("host: flow %d has no bytes", f.ID))
+	}
+	f.started = h.eng.Now()
+	h.enqueueFlowFrames(f)
+}
+
+// enqueueFlowFrames slices the flow into MTU frames and queues them.
+func (h *Host) enqueueFlowFrames(f *Flow) {
+	remaining := f.Bytes
+	seq := int64(0)
+	for remaining > 0 {
+		payload := int64(h.cfg.MTU)
+		if remaining < payload {
+			payload = remaining
+		}
+		h.queueFrame(f, seq, int(payload), false)
+		remaining -= payload
+		seq++
+	}
+	f.frames = seq
+	h.pump()
+}
+
+// queueFrame appends one frame to the NIC queue.
+func (h *Host) queueFrame(f *Flow, seq int64, payload int, retx bool) {
+	id := *h.nextFrame
+	*h.nextFrame++
+	fr := &switching.Frame{
+		ID:       id,
+		SrcNode:  f.Src,
+		DstNode:  f.Dst,
+		DataBits: netstack.WireBitsForPayload(payload),
+		FlowID:   uint64(f.ID),
+		Meta:     &FrameCtx{Flow: f, Seq: seq, PayloadBytes: payload, Retransmit: retx},
+	}
+	h.sendQ = append(h.sendQ, fr)
+}
+
+// pump drains the NIC queue at NICRate.
+func (h *Host) pump() {
+	if h.nicBusy || h.paused || len(h.sendQ) == 0 {
+		return
+	}
+	fr := h.sendQ[0]
+	h.sendQ = h.sendQ[1:]
+	h.nicBusy = true
+	fr.Injected = h.eng.Now()
+	tx := sim.Transmission(fr.DataBits, h.cfg.NICRate)
+	h.eng.After(tx, "nic-tx", func() {
+		h.stats.FramesSent.Inc()
+		ctx := fr.Meta.(*FrameCtx)
+		if !ctx.Retransmit {
+			ctx.Flow.sentBytes += int64(ctx.PayloadBytes)
+		}
+		h.cb.Inject(fr)
+		h.nicBusy = false
+		h.pump()
+	})
+}
+
+// Deliver is called by the fabric when a frame reaches this host's NIC.
+// Corrupt frames (uncorrectable FEC upstream, caught by the final FCS
+// check) trigger a NACK to the sender, which retransmits.
+func (h *Host) Deliver(fr *switching.Frame, sender *Host) {
+	ctx := fr.Meta.(*FrameCtx)
+	if fr.DstNode != h.node {
+		panic(fmt.Sprintf("host %d: misdelivered frame for %d", h.node, fr.DstNode))
+	}
+	if ctx.Corrupt {
+		h.stats.FramesCorrupt.Inc()
+		delay := sim.Duration(0)
+		if h.cb.NACKDelay != nil {
+			delay = h.cb.NACKDelay(h.node, fr.SrcNode)
+		}
+		sender.Retransmit(ctx, delay)
+		return
+	}
+	h.stats.FramesDelivered.Inc()
+	h.stats.BytesDelivered.Add(int64(ctx.PayloadBytes))
+	flow := ctx.Flow
+	flow.ackedBytes += int64(ctx.PayloadBytes)
+	if !flow.done && flow.ackedBytes >= flow.Bytes {
+		flow.done = true
+		flow.finished = h.eng.Now()
+		if h.onDone != nil {
+			h.onDone(flow)
+		}
+	}
+}
+
+// Retransmit schedules a resend of the frame described by ctx after delay.
+// It is the recovery path for both receiver NACKs (corrupt frames) and
+// fabric drops. A frame exceeding MaxRetries marks the flow failed.
+func (h *Host) Retransmit(ctx *FrameCtx, delay sim.Duration) {
+	if ctx.Flow.Src != h.node {
+		panic(fmt.Sprintf("host %d: retransmit of foreign flow %d", h.node, ctx.Flow.ID))
+	}
+	ctx.Retries++
+	if ctx.Retries > MaxRetries {
+		ctx.Flow.failed = true
+		return
+	}
+	h.eng.After(delay, "retx", func() {
+		ctx.Flow.retx++
+		fresh := *ctx // new context: the old frame may still be in flight
+		fresh.Corrupt = false
+		fresh.Retransmit = true
+		h.queueFrameCtx(&fresh)
+		h.pump()
+	})
+}
+
+// queueFrameCtx enqueues a frame for an existing context.
+func (h *Host) queueFrameCtx(ctx *FrameCtx) {
+	id := *h.nextFrame
+	*h.nextFrame++
+	fr := &switching.Frame{
+		ID:       id,
+		SrcNode:  ctx.Flow.Src,
+		DstNode:  ctx.Flow.Dst,
+		DataBits: netstack.WireBitsForPayload(ctx.PayloadBytes),
+		FlowID:   uint64(ctx.Flow.ID),
+		Meta:     ctx,
+	}
+	h.sendQ = append(h.sendQ, fr)
+}
+
+// QueuedFrames returns the NIC backlog (testing and telemetry).
+func (h *Host) QueuedFrames() int { return len(h.sendQ) }

@@ -1,0 +1,218 @@
+package host
+
+import (
+	"testing"
+
+	"rackfab/internal/netstack"
+	"rackfab/internal/sim"
+	"rackfab/internal/switching"
+)
+
+// loopback wires two hosts through a zero-latency "fabric" that delivers
+// frames after a fixed delay, optionally corrupting selected sequences once.
+type loopback struct {
+	eng         *sim.Engine
+	hosts       map[int]*Host
+	delay       sim.Duration
+	corruptSeqs map[int64]bool // first transmission of these seqs is corrupted
+	delivered   []int64
+	completed   []*Flow
+}
+
+func newLoopback(delay sim.Duration) *loopback {
+	lb := &loopback{eng: sim.New(), hosts: map[int]*Host{}, delay: delay, corruptSeqs: map[int64]bool{}}
+	var frameIDs uint64
+	for _, node := range []int{0, 1} {
+		node := node
+		lb.hosts[node] = New(node, lb.eng, DefaultConfig(), Callbacks{
+			Inject: func(f *switching.Frame) {
+				ctx := f.Meta.(*FrameCtx)
+				if !ctx.Retransmit && lb.corruptSeqs[ctx.Seq] {
+					ctx.Corrupt = true
+				}
+				lb.eng.After(lb.delay, "wire", func() {
+					lb.delivered = append(lb.delivered, ctx.Seq)
+					lb.hosts[f.DstNode].Deliver(f, lb.hosts[f.SrcNode])
+				})
+			},
+			NACKDelay: func(src, dst int) sim.Duration { return lb.delay },
+		}, &frameIDs, func(fl *Flow) { lb.completed = append(lb.completed, fl) })
+	}
+	return lb
+}
+
+func TestFlowCompletes(t *testing.T) {
+	lb := newLoopback(10 * sim.Microsecond)
+	flow := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 4500} // 3 MTU frames
+	lb.eng.At(0, "start", func() { lb.hosts[0].StartFlow(flow) })
+	if err := lb.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !flow.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if len(lb.completed) != 1 || lb.completed[0] != flow {
+		t.Fatal("completion callback missed")
+	}
+	if flow.frames != 3 {
+		t.Fatalf("frames = %d", flow.frames)
+	}
+	// FCT ≥ wire delay + serialization of 3 frames at 100G.
+	if flow.FCT() < 10*sim.Microsecond {
+		t.Fatalf("FCT = %v", flow.FCT())
+	}
+	if lb.hosts[1].Stats().BytesDelivered.Value() != 4500 {
+		t.Fatalf("bytes = %d", lb.hosts[1].Stats().BytesDelivered.Value())
+	}
+}
+
+func TestNICSerializesAtRate(t *testing.T) {
+	lb := newLoopback(0)
+	flow := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 15000} // 10 frames
+	lb.eng.At(0, "start", func() { lb.hosts[0].StartFlow(flow) })
+	if err := lb.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 full frames at 100G: 1538B+IFG... WireBitsForPayload(1500)=1538*8
+	// per frame ≈ 123.04 ns each; total ≈ 1.2304 µs.
+	wantPerFrame := sim.Transmission(netstack.WireBitsForPayload(1500), 100e9)
+	want := sim.Duration(10 * int64(wantPerFrame))
+	got := flow.FCT()
+	if got < want || got > want+sim.Nanosecond*10 {
+		t.Fatalf("FCT = %v, want ≈%v", got, want)
+	}
+}
+
+func TestCorruptFrameRetransmitted(t *testing.T) {
+	lb := newLoopback(5 * sim.Microsecond)
+	lb.corruptSeqs[1] = true // poison the middle frame once
+	flow := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 4500}
+	lb.eng.At(0, "start", func() { lb.hosts[0].StartFlow(flow) })
+	if err := lb.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !flow.Done() {
+		t.Fatal("flow incomplete after corruption")
+	}
+	if flow.Retransmits() != 1 {
+		t.Fatalf("retransmits = %d", flow.Retransmits())
+	}
+	if lb.hosts[1].Stats().FramesCorrupt.Value() != 1 {
+		t.Fatal("corrupt frame not counted")
+	}
+	// Delivered bytes must still be exact.
+	if lb.hosts[1].Stats().BytesDelivered.Value() != 4500 {
+		t.Fatalf("bytes = %d", lb.hosts[1].Stats().BytesDelivered.Value())
+	}
+}
+
+func TestShortFlowSingleFrame(t *testing.T) {
+	lb := newLoopback(0)
+	flow := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 100}
+	lb.eng.At(0, "start", func() { lb.hosts[0].StartFlow(flow) })
+	if err := lb.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if flow.frames != 1 || !flow.Done() {
+		t.Fatalf("frames=%d done=%v", flow.frames, flow.Done())
+	}
+}
+
+func TestFCTPanicsUnfinished(t *testing.T) {
+	flow := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	flow.FCT()
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	lb := newLoopback(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign flow accepted")
+		}
+	}()
+	lb.hosts[0].StartFlow(&Flow{ID: 1, Src: 1, Dst: 0, Bytes: 10})
+}
+
+func TestNICPauseHoldsInjection(t *testing.T) {
+	lb := newLoopback(0)
+	h := lb.hosts[0]
+	flow := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 15000} // 10 frames
+	lb.eng.At(0, "start", func() {
+		h.SetPaused(true)
+		h.StartFlow(flow)
+	})
+	lb.eng.At(sim.Time(100*sim.Microsecond), "release", func() {
+		if h.QueuedFrames() != 10 {
+			t.Errorf("queued = %d during pause", h.QueuedFrames())
+		}
+		h.SetPaused(false)
+	})
+	if err := lb.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !flow.Done() {
+		t.Fatal("flow unfinished after release")
+	}
+	// Everything serialized after the 100 µs hold.
+	if flow.FCT() < 100*sim.Microsecond {
+		t.Fatalf("FCT %v ignores the pause", flow.FCT())
+	}
+	if h.Paused() {
+		t.Fatal("paused flag stuck")
+	}
+}
+
+func TestRetransmitCapFailsFlow(t *testing.T) {
+	lb := newLoopback(0)
+	flow := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 100}
+	ctx := &FrameCtx{Flow: flow, Seq: 0, PayloadBytes: 100, Retries: MaxRetries}
+	lb.eng.At(0, "retx", func() {
+		lb.hosts[0].Retransmit(ctx, 0)
+	})
+	if err := lb.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !flow.Failed() {
+		t.Fatal("flow not marked failed past MaxRetries")
+	}
+	// Remaining/AckedBytes accessors.
+	if flow.Remaining() != 100 || flow.AckedBytes() != 0 {
+		t.Fatalf("remaining=%d acked=%d", flow.Remaining(), flow.AckedBytes())
+	}
+}
+
+func TestRetransmitForeignFlowPanics(t *testing.T) {
+	lb := newLoopback(0)
+	flow := &Flow{ID: 1, Src: 1, Dst: 0, Bytes: 100}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lb.hosts[0].Retransmit(&FrameCtx{Flow: flow}, 0)
+}
+
+func TestTwoFlowsShareNIC(t *testing.T) {
+	lb := newLoopback(0)
+	f1 := &Flow{ID: 1, Src: 0, Dst: 1, Bytes: 150000}
+	f2 := &Flow{ID: 2, Src: 0, Dst: 1, Bytes: 1500}
+	lb.eng.At(0, "start", func() {
+		lb.hosts[0].StartFlow(f1)
+		lb.hosts[0].StartFlow(f2)
+	})
+	if err := lb.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Done() || !f2.Done() {
+		t.Fatal("flows incomplete")
+	}
+	// FIFO NIC: the small flow queued behind the big one finishes last.
+	if f2.FCT() < f1.FCT() {
+		t.Fatal("queued flow finished before the head flow")
+	}
+}

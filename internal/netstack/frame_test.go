@@ -1,0 +1,182 @@
+package netstack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACForNode(t *testing.T) {
+	a := MACForNode(0)
+	b := MACForNode(65537)
+	if a == b {
+		t.Fatal("distinct nodes share a MAC")
+	}
+	// Locally administered unicast: bit 1 of first octet set, bit 0 clear.
+	if a[0]&0x02 == 0 || a[0]&0x01 != 0 {
+		t.Fatalf("MAC %v not locally administered unicast", a)
+	}
+	if id, ok := NodeForMAC(b); !ok || id != 65537 {
+		t.Fatalf("NodeForMAC = %d,%v", id, ok)
+	}
+	if _, ok := NodeForMAC(Broadcast); ok {
+		t.Fatal("broadcast resolved to a node")
+	}
+	if MACForNode(7).String() != "02:fa:b0:00:00:07" {
+		t.Fatalf("String = %s", MACForNode(7))
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	f := &Frame{
+		Dst:     MACForNode(1),
+		Src:     MACForNode(2),
+		Type:    EtherTypeFabric,
+		Payload: payload,
+	}
+	wire, err := f.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != f.WireLen() {
+		t.Fatalf("wire len %d, WireLen %d", len(wire), f.WireLen())
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != f.Dst || got.Src != f.Src || got.Type != f.Type {
+		t.Fatal("header corrupted in round trip")
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	f := &Frame{
+		Dst:     MACForNode(3),
+		Src:     MACForNode(4),
+		VLAN:    &VLANTag{PCP: 5, VID: 100},
+		Type:    EtherTypeIPv4,
+		Payload: make([]byte, 64),
+	}
+	wire, err := f.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VLAN == nil || got.VLAN.PCP != 5 || got.VLAN.VID != 100 {
+		t.Fatalf("VLAN tag lost: %+v", got.VLAN)
+	}
+	if got.Type != EtherTypeIPv4 {
+		t.Fatalf("inner EtherType = %x", got.Type)
+	}
+}
+
+func TestMinimumFramePadding(t *testing.T) {
+	f := &Frame{Dst: MACForNode(1), Src: MACForNode(2), Type: EtherTypeFabric, Payload: []byte{1, 2, 3}}
+	wire, err := f.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 64 {
+		t.Fatalf("tiny frame wire len %d, want 64", len(wire))
+	}
+	got, err := Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad is preserved; the original bytes lead.
+	if !bytes.Equal(got.Payload[:3], []byte{1, 2, 3}) {
+		t.Fatal("payload head corrupted by padding")
+	}
+}
+
+func TestFCSDetectsCorruption(t *testing.T) {
+	f := &Frame{Dst: MACForNode(1), Src: MACForNode(2), Type: EtherTypeFabric, Payload: make([]byte, 200)}
+	wire, _ := f.Marshal(nil)
+	for _, pos := range []int{0, 13, 50, len(wire) - 1} {
+		bad := append([]byte(nil), wire...)
+		bad[pos] ^= 0x01
+		if _, err := Unmarshal(bad); err == nil {
+			t.Fatalf("corruption at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	if _, err := (&Frame{Payload: make([]byte, MaxPayload+1)}).Marshal(nil); err == nil {
+		t.Error("oversize payload accepted")
+	}
+	if _, err := (&Frame{VLAN: &VLANTag{VID: 0x1000}}).Marshal(nil); err == nil {
+		t.Error("13-bit VID accepted")
+	}
+	if _, err := (&Frame{VLAN: &VLANTag{PCP: 8}}).Marshal(nil); err == nil {
+		t.Error("4-bit PCP accepted")
+	}
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("runt frame accepted")
+	}
+}
+
+func TestWireBits(t *testing.T) {
+	f := &Frame{Dst: MACForNode(1), Src: MACForNode(2), Type: EtherTypeFabric, Payload: make([]byte, 1500)}
+	// 1500 payload + 14 header + 4 FCS + 20 preamble/IFG = 1538 bytes.
+	if got := f.WireBits(); got != 1538*8 {
+		t.Fatalf("WireBits = %d, want %d", got, 1538*8)
+	}
+}
+
+// Property: marshal/unmarshal round-trips arbitrary frames (payload length
+// ≥46 so padding is not in play) and survives appending to a shared buffer.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(dstID, srcID uint16, typeRaw uint16, payloadRaw []byte, vlan bool, pcp uint8, vid uint16) bool {
+		payload := payloadRaw
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		for len(payload) < 46 {
+			payload = append(payload, 0xAA)
+		}
+		fr := &Frame{
+			Dst:     MACForNode(int(dstID)),
+			Src:     MACForNode(int(srcID)),
+			Type:    EtherType(typeRaw | 0x0600), // keep it a type, not a length
+			Payload: payload,
+		}
+		if fr.Type == EtherTypeVLAN {
+			fr.Type = EtherTypeFabric
+		}
+		if vlan {
+			fr.VLAN = &VLANTag{PCP: pcp % 8, VID: vid % 0x1000}
+		}
+		prefix := []byte{0xde, 0xad}
+		wire, err := fr.Marshal(prefix)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(wire[2:])
+		if err != nil {
+			return false
+		}
+		if got.Dst != fr.Dst || got.Src != fr.Src || got.Type != fr.Type {
+			return false
+		}
+		if vlan != (got.VLAN != nil) {
+			return false
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(70))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package netstack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	tok := &RingToken{
+		Seq:    42,
+		Origin: 7,
+		Records: []LinkRecord{
+			{LinkID: 1, UtilizationMilli: 500, QueueDelayNs: 1200, BERExponent: 120, ActiveLanes: 2, TotalLanes: 4, PowerDeciWatt: 60, Flags: 1},
+			{LinkID: 2, UtilizationMilli: 1000, QueueDelayNs: 0, BERExponent: 255, ActiveLanes: 1, TotalLanes: 2, PowerDeciWatt: 15, Flags: 0},
+		},
+	}
+	wire, err := tok.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalToken(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 42 || got.Origin != 7 || len(got.Records) != 2 {
+		t.Fatalf("header corrupted: %+v", got)
+	}
+	for i := range tok.Records {
+		if got.Records[i] != tok.Records[i] {
+			t.Fatalf("record %d corrupted: %+v vs %+v", i, got.Records[i], tok.Records[i])
+		}
+	}
+}
+
+func TestTokenBounds(t *testing.T) {
+	tok := &RingToken{Records: make([]LinkRecord, MaxTokenRecords+1)}
+	if _, err := tok.Marshal(nil); err == nil {
+		t.Fatal("oversize token accepted")
+	}
+	if _, err := UnmarshalToken([]byte{1, 2}); err == nil {
+		t.Fatal("runt token accepted")
+	}
+	// Claimed record count beyond the payload must fail.
+	good, _ := (&RingToken{Seq: 1, Records: []LinkRecord{{LinkID: 9}}}).Marshal(nil)
+	if _, err := UnmarshalToken(good[:len(good)-4]); err == nil {
+		t.Fatal("truncated token accepted")
+	}
+}
+
+func TestTokenWireBitsGrowWithRack(t *testing.T) {
+	small := &RingToken{Records: make([]LinkRecord, 24)} // 4x4 grid
+	large := &RingToken{Records: make([]LinkRecord, 84)} // 7x7 grid
+	if small.WireBits() >= large.WireBits() {
+		t.Fatal("token does not grow with link count")
+	}
+	// A 24-link token must fit one minimal-ish frame: ≤ 64+24*15 bytes.
+	if small.WireBits() > int64((64+24*16+20)*8) {
+		t.Fatalf("24-record token unexpectedly large: %d bits", small.WireBits())
+	}
+}
+
+func TestUtilizationCodec(t *testing.T) {
+	cases := []float64{0, 0.25, 0.5, 1.0, 1.5, -0.1}
+	for _, u := range cases {
+		enc := EncodeUtilization(u)
+		dec := DecodeUtilization(enc)
+		want := u
+		if want > 1 {
+			want = 1
+		}
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(dec-want) > 0.001 {
+			t.Errorf("util %v → %d → %v", u, enc, dec)
+		}
+	}
+}
+
+func TestBERCodec(t *testing.T) {
+	if EncodeBER(0) != 255 || DecodeBER(255) != 0 {
+		t.Fatal("no-error sentinel broken")
+	}
+	if EncodeBER(1) != 0 {
+		t.Fatal("BER 1 should encode to exponent 0")
+	}
+	// Round-trip accuracy: within half a deci-decade.
+	for _, ber := range []float64{1e-3, 1e-6, 3.2e-8, 1e-12, 1e-15} {
+		enc := EncodeBER(ber)
+		dec := DecodeBER(enc)
+		ratio := dec / ber
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("BER %v → %d → %v (ratio %v)", ber, enc, dec, ratio)
+		}
+	}
+	// Extremely clean links saturate at the smallest representable BER.
+	if EncodeBER(1e-40) != 254 {
+		t.Fatalf("tiny BER encoded as %d", EncodeBER(1e-40))
+	}
+}
+
+func TestSaturatingEncoders(t *testing.T) {
+	if EncodeQueueDelayNs(-5) != 0 {
+		t.Fatal("negative delay not clamped")
+	}
+	if EncodeQueueDelayNs(1e20) != math.MaxUint32 {
+		t.Fatal("huge delay not saturated")
+	}
+	if EncodePowerDeciWatt(-1) != 0 {
+		t.Fatal("negative power not clamped")
+	}
+	if EncodePowerDeciWatt(1e9) != math.MaxUint16 {
+		t.Fatal("huge power not saturated")
+	}
+	if EncodePowerDeciWatt(42.36) != 424 {
+		t.Fatalf("42.36W → %d deciwatt", EncodePowerDeciWatt(42.36))
+	}
+}
+
+// Property: arbitrary tokens round-trip exactly.
+func TestTokenRoundTripProperty(t *testing.T) {
+	f := func(seq uint32, origin uint16, raw []byte) bool {
+		n := len(raw) % 32
+		recs := make([]LinkRecord, n)
+		rnd := rand.New(rand.NewSource(int64(seq)))
+		for i := range recs {
+			recs[i] = LinkRecord{
+				LinkID:           rnd.Uint32(),
+				UtilizationMilli: uint16(rnd.Intn(1001)),
+				QueueDelayNs:     rnd.Uint32(),
+				BERExponent:      uint8(rnd.Intn(256)),
+				ActiveLanes:      uint8(rnd.Intn(8)),
+				TotalLanes:       uint8(rnd.Intn(8)),
+				PowerDeciWatt:    uint16(rnd.Intn(65536)),
+				Flags:            uint8(rnd.Intn(2)),
+			}
+		}
+		tok := &RingToken{Seq: seq, Origin: origin, Records: recs}
+		wire, err := tok.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalToken(wire)
+		if err != nil {
+			return false
+		}
+		if got.Seq != seq || got.Origin != origin || len(got.Records) != n {
+			return false
+		}
+		for i := range recs {
+			if got.Records[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Fatal(err)
+	}
+}

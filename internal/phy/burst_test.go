@@ -1,0 +1,112 @@
+package phy
+
+import (
+	"math"
+	"testing"
+
+	"rackfab/internal/sim"
+)
+
+func TestBurstChannelValidation(t *testing.T) {
+	rng := sim.NewRNG(1)
+	cases := []struct {
+		good, bad float64
+		mg, mb    sim.Duration
+	}{
+		{-1, 0.5, sim.Millisecond, sim.Millisecond},
+		{1e-9, 1e-12, sim.Millisecond, sim.Millisecond}, // bad ≤ good
+		{1e-9, 1e-4, 0, sim.Millisecond},
+		{1e-9, 1e-4, sim.Millisecond, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewBurstChannel(rng, c.good, c.bad, c.mg, c.mb); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewBurstChannel(rng, 1e-12, 1e-5, sim.Millisecond, 100*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstChannelAlternates(t *testing.T) {
+	rng := sim.NewRNG(2)
+	c, err := NewBurstChannel(rng, 1e-12, 1e-5, sim.Millisecond, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGood, sawBad := false, false
+	for now := sim.Time(0); now < sim.Time(50*sim.Millisecond); now = now.Add(100 * sim.Microsecond) {
+		switch c.BERAt(now) {
+		case 1e-12:
+			sawGood = true
+		case 1e-5:
+			sawBad = true
+		default:
+			t.Fatal("BER outside the two states")
+		}
+	}
+	if !sawGood || !sawBad {
+		t.Fatalf("states not both visited: good=%v bad=%v", sawGood, sawBad)
+	}
+	if c.Transitions() == 0 {
+		t.Fatal("no transitions recorded")
+	}
+}
+
+func TestBurstChannelDwellFractions(t *testing.T) {
+	rng := sim.NewRNG(3)
+	// 90% good / 10% bad by dwell.
+	c, err := NewBurstChannel(rng, 1e-12, 1e-5, 900*sim.Microsecond, 100*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSamples, total := 0, 0
+	for now := sim.Time(0); now < sim.Time(2*sim.Second); now = now.Add(10 * sim.Microsecond) {
+		c.BERAt(now)
+		if c.InBurst() {
+			badSamples++
+		}
+		total++
+	}
+	frac := float64(badSamples) / float64(total)
+	if math.Abs(frac-0.10) > 0.03 {
+		t.Fatalf("bad-state fraction = %v, want ≈0.10", frac)
+	}
+	// MeanBER reflects the dwell weighting.
+	want := (1e-12*900 + 1e-5*100) / 1000
+	if math.Abs(c.MeanBER()-want)/want > 1e-9 {
+		t.Fatalf("MeanBER = %v, want %v", c.MeanBER(), want)
+	}
+}
+
+func TestLaneWithBurstChannel(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 1, 25.78125e9)
+	rng := sim.NewRNG(4)
+	ch, err := NewBurstChannel(rng, 1e-15, 3e-5, 500*sim.Microsecond, 500*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lanes[0].AttachBurstChannel(ch)
+	frameRng := sim.NewRNG(5)
+	lost := 0
+	const frames = 4000
+	for i := 0; i < frames; i++ {
+		now := sim.Time(i) * sim.Time(5*sim.Microsecond)
+		if l.TransferFrame(frameRng, now, 1500*8).Lost {
+			lost++
+		}
+	}
+	// Loss only during bursts: overall ≈ half of the bad-state frame loss
+	// 1-(1-3e-5)^12000 ≈ 30% → ≈15% overall.
+	frac := float64(lost) / frames
+	if frac < 0.05 || frac > 0.25 {
+		t.Fatalf("burst loss fraction = %v, want ≈0.15", frac)
+	}
+	// Detach freezes the BER.
+	l.Lanes[0].DetachBurstChannel()
+	frozen := l.Lanes[0].BER()
+	l.TransferFrame(frameRng, sim.Time(sim.Second), 1500*8)
+	if l.Lanes[0].BER() != frozen {
+		t.Fatal("BER moved after detach")
+	}
+}

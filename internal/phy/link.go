@@ -1,0 +1,251 @@
+package phy
+
+import (
+	"fmt"
+
+	"rackfab/internal/fec"
+	"rackfab/internal/sim"
+)
+
+// LinkID identifies a link within a fabric.
+type LinkID int
+
+// Link is a bundle of lanes over one media span — the paper's unit of
+// reconfiguration. PLP #1 (break/bundle) changes how many lanes carry
+// switched traffic; PLP #3 (on/off) powers lanes; PLP #4 picks the FEC
+// profile; PLP #5 is exposed through each lane's Stats.
+type Link struct {
+	ID LinkID
+	// LengthM is the physical span in meters.
+	LengthM float64
+	// Media is the transmission medium.
+	Media Media
+	// Lanes is the ordered lane bundle.
+	Lanes []*Lane
+
+	profile Profile
+	fecP    fec.Profile
+}
+
+// NewLink builds a link of laneCount lanes at laneRate over media. All
+// lanes start up with the "none" FEC profile.
+func NewLink(id LinkID, media Media, lengthM float64, laneCount int, laneRate float64) (*Link, error) {
+	if laneCount <= 0 {
+		return nil, fmt.Errorf("phy: link %d needs at least one lane", id)
+	}
+	if lengthM <= 0 {
+		return nil, fmt.Errorf("phy: link %d length must be positive", id)
+	}
+	prof := ProfileOf(media)
+	if !prof.SupportsRate(laneRate) {
+		return nil, fmt.Errorf("phy: media %v does not support %g bit/s lanes", media, laneRate)
+	}
+	l := &Link{
+		ID:      id,
+		LengthM: lengthM,
+		Media:   media,
+		profile: prof,
+	}
+	for i := 0; i < laneCount; i++ {
+		l.Lanes = append(l.Lanes, NewLane(i, laneRate))
+	}
+	none, _ := fec.ProfileByName("none")
+	l.fecP = none
+	return l, nil
+}
+
+// MustLink is NewLink panicking on error, for tests and fixed topologies.
+func MustLink(id LinkID, media Media, lengthM float64, laneCount int, laneRate float64) *Link {
+	l, err := NewLink(id, media, lengthM, laneCount, laneRate)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Profile returns the media capability profile.
+func (l *Link) Profile() Profile { return l.profile }
+
+// FEC returns the link's current FEC profile.
+func (l *Link) FEC() fec.Profile { return l.fecP }
+
+// SetFEC installs a FEC profile (PLP #4). The caller (the PLP executor)
+// accounts for the reconfiguration latency.
+func (l *Link) SetFEC(p fec.Profile) { l.fecP = p }
+
+// ActiveLanes returns the number of lanes carrying switched traffic.
+func (l *Link) ActiveLanes() int {
+	n := 0
+	for _, lane := range l.Lanes {
+		if lane.Carries() {
+			n++
+		}
+	}
+	return n
+}
+
+// BypassedLanes returns the number of lanes in bypass mode.
+func (l *Link) BypassedLanes() int {
+	n := 0
+	for _, lane := range l.Lanes {
+		if lane.State() == LaneBypassed {
+			n++
+		}
+	}
+	return n
+}
+
+// RawRate returns the aggregate signalling rate of active lanes in bit/s.
+func (l *Link) RawRate() float64 {
+	var sum float64
+	for _, lane := range l.Lanes {
+		if lane.Carries() {
+			sum += lane.Rate
+		}
+	}
+	return sum
+}
+
+// EffectiveRate returns post-FEC goodput in bit/s: the paper's "effective
+// bandwidth" statistic at link granularity.
+func (l *Link) EffectiveRate() float64 { return l.fecP.EffectiveRate(l.RawRate()) }
+
+// Up reports whether the link can carry switched traffic at all.
+func (l *Link) Up() bool { return l.ActiveLanes() > 0 }
+
+// PropagationDelay returns the media flight time across the span.
+func (l *Link) PropagationDelay() sim.Duration { return l.profile.Propagation(l.LengthM) }
+
+// SerializationDelay returns the time to clock dataBits of payload onto the
+// wire, including FEC expansion, striped across active lanes.
+func (l *Link) SerializationDelay(dataBits int64) sim.Duration {
+	rate := l.EffectiveRate()
+	if rate <= 0 {
+		panic(fmt.Sprintf("phy: serialization on down link %d", l.ID))
+	}
+	return sim.Transmission(dataBits, rate)
+}
+
+// WorstBER returns the maximum true BER across active lanes — a frame is
+// striped over all lanes, so the worst lane dominates its fate.
+func (l *Link) WorstBER() float64 {
+	worst := 0.0
+	for _, lane := range l.Lanes {
+		if lane.Carries() && lane.BER() > worst {
+			worst = lane.BER()
+		}
+	}
+	return worst
+}
+
+// MeasuredBER aggregates receiver-side BER estimates across active lanes
+// (worst lane), which is what the CRC sees.
+func (l *Link) MeasuredBER() float64 {
+	worst := 0.0
+	for _, lane := range l.Lanes {
+		if lane.Carries() {
+			if b := lane.Stats.MeasuredBER(); b > worst {
+				worst = b
+			}
+		}
+	}
+	return worst
+}
+
+// TransferOutcome reports what happened to one frame on the wire.
+type TransferOutcome struct {
+	// Lost reports the frame was uncorrectable and discarded.
+	Lost bool
+	// PreFECBitErrors is the raw channel error count for the frame.
+	PreFECBitErrors int64
+	// CorrectedSymbols counts symbols repaired by FEC.
+	CorrectedSymbols int64
+}
+
+// TransferFrame runs the channel error model for one frame of dataBits at
+// instant now and updates per-lane statistics. Loss is decided by the FEC
+// profile's analytic post-FEC loss probability at the link's true BER
+// (refreshed through any attached burst channel); raw error counts are
+// sampled so receiver BER estimation sees realistic statistics.
+func (l *Link) TransferFrame(rng *sim.RNG, now sim.Time, dataBits int64) TransferOutcome {
+	wireBits := int64(float64(dataBits) * l.fecP.Overhead())
+	active := make([]*Lane, 0, len(l.Lanes))
+	for _, lane := range l.Lanes {
+		if lane.Carries() {
+			lane.refreshBER(now)
+			active = append(active, lane)
+		}
+	}
+	if len(active) == 0 {
+		panic(fmt.Sprintf("phy: TransferFrame on down link %d", l.ID))
+	}
+	out := TransferOutcome{}
+	perLane := wireBits / int64(len(active))
+	for _, lane := range active {
+		errs := rng.Binomial(perLane, lane.BER())
+		out.PreFECBitErrors += errs
+		lane.Stats.BitsCarried.Add(perLane)
+		lane.Stats.FramesCarried.Inc()
+		lane.Stats.PreFECBitErrors.Add(errs)
+	}
+	lossP := l.fecP.Code.FrameLossProb(l.WorstBER(), int(dataBits))
+	if rng.Float64() < lossP {
+		out.Lost = true
+		for _, lane := range active {
+			lane.Stats.UncorrectableFrames.Inc()
+		}
+		return out
+	}
+	// Corrected symbols: every raw bit error that was not part of a lost
+	// frame was repaired (conservatively one symbol per bit error).
+	out.CorrectedSymbols = out.PreFECBitErrors
+	if out.CorrectedSymbols > 0 {
+		for _, lane := range active {
+			lane.Stats.CorrectedSymbols.Add(out.CorrectedSymbols / int64(len(active)))
+		}
+	}
+	return out
+}
+
+// ObserveLatency folds a measured one-way latency into active lanes' stats.
+func (l *Link) ObserveLatency(d sim.Duration) {
+	for _, lane := range l.Lanes {
+		if lane.Carries() {
+			lane.Stats.Latency.Observe(float64(d))
+		}
+	}
+}
+
+// SplitLanes moves the top (len−keep) lanes out of switched service and
+// returns them, implementing the "break" half of PLP #1: a link of N lanes
+// becomes a switched link of keep lanes plus a freed group the fabric can
+// repurpose (e.g. as a bypass express channel). The freed lanes are set to
+// the target state.
+func (l *Link) SplitLanes(keep int, freedState LaneState) ([]*Lane, error) {
+	if keep < 1 || keep >= len(l.Lanes) {
+		return nil, fmt.Errorf("phy: split keep=%d out of range for %d lanes", keep, len(l.Lanes))
+	}
+	freed := make([]*Lane, 0, len(l.Lanes)-keep)
+	for _, lane := range l.Lanes[keep:] {
+		if err := lane.SetState(freedState); err != nil {
+			return nil, err
+		}
+		freed = append(freed, lane)
+	}
+	return freed, nil
+}
+
+// BundleLanes returns all lanes to switched service ("bundle" half of
+// PLP #1). Lanes come back through training; the caller accounts for
+// RetrainTime before marking them up.
+func (l *Link) BundleLanes() error {
+	for _, lane := range l.Lanes {
+		if lane.State() == LaneFailed {
+			continue
+		}
+		if err := lane.SetState(LaneTraining); err != nil {
+			return err
+		}
+	}
+	return nil
+}

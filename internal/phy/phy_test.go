@@ -1,0 +1,253 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rackfab/internal/fec"
+	"rackfab/internal/sim"
+)
+
+func TestMediaProfiles(t *testing.T) {
+	for _, m := range []Media{Backplane, CopperDAC, OpticalFiber} {
+		p := ProfileOf(m)
+		if p.PropagationPerMeter <= 0 {
+			t.Errorf("%v: no propagation constant", m)
+		}
+		if len(p.LaneRates) == 0 {
+			t.Errorf("%v: no lane rates", m)
+		}
+		if p.LanePowerW <= 0 {
+			t.Errorf("%v: no lane power", m)
+		}
+		if m.String() == "" {
+			t.Errorf("%v: empty name", m)
+		}
+	}
+	// Copper DAC is a passive cable: no mid-span bypass.
+	if ProfileOf(CopperDAC).SupportsBypass {
+		t.Error("copper DAC should not support bypass")
+	}
+	if !ProfileOf(Backplane).SupportsBypass || !ProfileOf(OpticalFiber).SupportsBypass {
+		t.Error("backplane and fiber must support bypass")
+	}
+}
+
+func TestPropagationFigure1Constants(t *testing.T) {
+	// Figure 1 assumes a switch every 2 m; flight time across 2 m of fiber
+	// must be ~9.8 ns — negligible next to a 450 ns switch traversal.
+	d := ProfileOf(OpticalFiber).Propagation(2.0)
+	if d != 9800*sim.Picosecond {
+		t.Fatalf("2m fiber = %v, want 9.8ns", d)
+	}
+}
+
+func TestLaneLifecycle(t *testing.T) {
+	l := NewLane(0, 25.78125e9)
+	if l.State() != LaneUp || !l.Carries() {
+		t.Fatal("new lane not up")
+	}
+	if err := l.SetState(LaneBypassed); err != nil {
+		t.Fatal(err)
+	}
+	if l.Carries() {
+		t.Fatal("bypassed lane still carries switched traffic")
+	}
+	if err := l.SetState(LaneFailed); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetState(LaneUp); err == nil {
+		t.Fatal("failed lane revived by command")
+	}
+	if err := l.SetState(LaneOff); err != nil {
+		t.Fatalf("failed lane cannot be turned off: %v", err)
+	}
+}
+
+func TestLaneBERValidation(t *testing.T) {
+	l := NewLane(0, 10e9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on BER > 1")
+		}
+	}()
+	l.SetBER(2)
+}
+
+func TestLinkConstruction(t *testing.T) {
+	if _, err := NewLink(1, Backplane, 2, 0, 25.78125e9); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := NewLink(1, Backplane, 0, 4, 25.78125e9); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := NewLink(1, Backplane, 2, 4, 1234); err == nil {
+		t.Error("unsupported rate accepted")
+	}
+	l := MustLink(1, Backplane, 2, 4, 25.78125e9)
+	if l.ActiveLanes() != 4 {
+		t.Fatalf("active lanes = %d", l.ActiveLanes())
+	}
+	// The paper's canonical 100G-as-4x25G link.
+	if math.Abs(l.RawRate()-103.125e9) > 1 {
+		t.Fatalf("raw rate = %v", l.RawRate())
+	}
+}
+
+func TestLinkRatesWithFEC(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 4, 25.78125e9)
+	raw := l.RawRate()
+	if l.EffectiveRate() != raw {
+		t.Fatal("none FEC should not tax rate")
+	}
+	rs, _ := fec.ProfileByName("rs(255,239)")
+	l.SetFEC(rs)
+	if eff := l.EffectiveRate(); eff >= raw || eff < raw*0.9 {
+		t.Fatalf("effective rate with RS = %v (raw %v)", eff, raw)
+	}
+	// Serialization of 1500B grows by exactly the FEC overhead.
+	noneD := sim.Transmission(1500*8, raw)
+	gotD := l.SerializationDelay(1500 * 8)
+	wantD := sim.Duration(float64(noneD) * rs.Overhead())
+	if diff := gotD - wantD; diff < -2 || diff > 2 {
+		t.Fatalf("serialization %v, want ≈%v", gotD, wantD)
+	}
+}
+
+func TestSplitAndBundle(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 2, 25.78125e9)
+	freed, err := l.SplitLanes(1, LaneBypassed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freed) != 1 || l.ActiveLanes() != 1 || l.BypassedLanes() != 1 {
+		t.Fatalf("split: freed=%d active=%d bypassed=%d", len(freed), l.ActiveLanes(), l.BypassedLanes())
+	}
+	// Rate halves after the split.
+	if math.Abs(l.RawRate()-25.78125e9) > 1 {
+		t.Fatalf("post-split rate = %v", l.RawRate())
+	}
+	if err := l.BundleLanes(); err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range l.Lanes {
+		if lane.State() != LaneTraining {
+			t.Fatalf("lane %d state %v after bundle", lane.Index, lane.State())
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 2, 25.78125e9)
+	if _, err := l.SplitLanes(0, LaneOff); err == nil {
+		t.Error("keep=0 accepted")
+	}
+	if _, err := l.SplitLanes(2, LaneOff); err == nil {
+		t.Error("keep=all accepted")
+	}
+}
+
+func TestTransferFrameClean(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 4, 25.78125e9)
+	rng := sim.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		out := l.TransferFrame(rng, 0, 1500*8)
+		if out.Lost {
+			t.Fatal("pristine link lost a frame")
+		}
+	}
+	if l.Lanes[0].Stats.FramesCarried.Value() != 100 {
+		t.Fatalf("frames carried = %d", l.Lanes[0].Stats.FramesCarried.Value())
+	}
+	if l.Lanes[0].Stats.BitsCarried.Value() == 0 {
+		t.Fatal("no bits recorded")
+	}
+}
+
+func TestTransferFrameNoisyNoFEC(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 1, 25.78125e9)
+	l.Lanes[0].SetBER(1e-5) // expect ~11% frame loss at 12kb without FEC
+	rng := sim.NewRNG(2)
+	lost := 0
+	const frames = 2000
+	for i := 0; i < frames; i++ {
+		if l.TransferFrame(rng, 0, 1500*8).Lost {
+			lost++
+		}
+	}
+	frac := float64(lost) / frames
+	want := 1 - math.Pow(1-1e-5, 12000)
+	if math.Abs(frac-want) > 0.03 {
+		t.Fatalf("loss frac = %v, want ≈%v", frac, want)
+	}
+	// Receiver BER estimate must be near the truth.
+	got := l.MeasuredBER()
+	if got < 1e-6 || got > 1e-4 {
+		t.Fatalf("measured BER = %v, want ≈1e-5", got)
+	}
+}
+
+func TestTransferFrameNoisyWithRS(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 1, 25.78125e9)
+	l.Lanes[0].SetBER(1e-5)
+	rs, _ := fec.ProfileByName("rs(255,239)")
+	l.SetFEC(rs)
+	rng := sim.NewRNG(3)
+	lost := 0
+	for i := 0; i < 2000; i++ {
+		if l.TransferFrame(rng, 0, 1500*8).Lost {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Fatalf("RS t=8 lost %d frames at BER 1e-5", lost)
+	}
+	if l.Lanes[0].Stats.CorrectedSymbols.Value() == 0 {
+		t.Fatal("no corrections recorded despite BER 1e-5")
+	}
+}
+
+func TestWorstBER(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 4, 25.78125e9)
+	l.Lanes[2].SetBER(1e-6)
+	if l.WorstBER() != 1e-6 {
+		t.Fatalf("worst BER = %v", l.WorstBER())
+	}
+	// A bypassed lane's BER no longer counts toward switched traffic.
+	if err := l.Lanes[2].SetState(LaneBypassed); err != nil {
+		t.Fatal(err)
+	}
+	if l.WorstBER() >= 1e-6 {
+		t.Fatalf("bypassed lane still dominates BER: %v", l.WorstBER())
+	}
+}
+
+func TestObserveLatency(t *testing.T) {
+	l := MustLink(1, Backplane, 2, 2, 25.78125e9)
+	l.ObserveLatency(500 * sim.Nanosecond)
+	if v := l.Lanes[0].Stats.Latency.Value(); v != float64(500*sim.Nanosecond) {
+		t.Fatalf("latency EWMA = %v", v)
+	}
+}
+
+// Property: for any lane subset split off, active+bypassed+off counts are
+// conserved and RawRate matches active lanes × rate.
+func TestSplitConservationProperty(t *testing.T) {
+	f := func(lanesRaw, keepRaw uint8) bool {
+		lanes := 2 + int(lanesRaw)%7 // 2..8
+		keep := 1 + int(keepRaw)%(lanes-1)
+		l := MustLink(1, Backplane, 2, lanes, 25.78125e9)
+		if _, err := l.SplitLanes(keep, LaneBypassed); err != nil {
+			return false
+		}
+		if l.ActiveLanes() != keep || l.BypassedLanes() != lanes-keep {
+			return false
+		}
+		return math.Abs(l.RawRate()-float64(keep)*25.78125e9) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(40))}); err != nil {
+		t.Fatal(err)
+	}
+}

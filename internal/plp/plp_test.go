@@ -1,0 +1,144 @@
+package plp
+
+import (
+	"strings"
+	"testing"
+
+	"rackfab/internal/phy"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Command{
+		{Kind: Break, Link: 1, KeepLanes: 1, FreedState: phy.LaneBypassed},
+		{Kind: Break, Link: 1, KeepLanes: 3, FreedState: phy.LaneOff},
+		{Kind: Bundle, Link: 1},
+		{Kind: BypassOn, Path: []int{0, 1, 2}},
+		{Kind: BypassOff, Path: []int{0, 1, 2, 3}},
+		{Kind: LaneOn, Link: 1, Lane: -1},
+		{Kind: LaneOff, Link: 1, Lane: 2},
+		{Kind: SetFEC, Link: 1, FECProfile: "rs(255,239)"},
+		{Kind: QueryStats, Link: 1},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", c, err)
+		}
+	}
+	bad := []Command{
+		{Kind: Break, KeepLanes: 0, FreedState: phy.LaneOff},
+		{Kind: Break, KeepLanes: 1, FreedState: phy.LaneUp},
+		{Kind: BypassOn, Path: []int{0, 1}},
+		{Kind: LaneOn, Lane: -2},
+		{Kind: SetFEC},
+		{Kind: Kind(99)},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%v: expected validation error", c)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{Break, Bundle, BypassOn, BypassOff, LaneOn, LaneOff, SetFEC, QueryStats}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{Kind: Break, Link: 7, KeepLanes: 1, FreedState: phy.LaneBypassed}
+	if !strings.Contains(c.String(), "break") || !strings.Contains(c.String(), "keep=1") {
+		t.Errorf("String() = %q", c.String())
+	}
+	b := Command{Kind: BypassOn, Path: []int{1, 2, 3}}
+	if !strings.Contains(b.String(), "bypass-on") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestSupported(t *testing.T) {
+	dac := phy.ProfileOf(phy.CopperDAC)
+	if Supported(dac, BypassOn) {
+		t.Error("bypass on passive copper should be unsupported")
+	}
+	if !Supported(dac, Break) || !Supported(dac, SetFEC) {
+		t.Error("break/set-fec must be media-universal")
+	}
+	fiber := phy.ProfileOf(phy.OpticalFiber)
+	if !Supported(fiber, BypassOn) {
+		t.Error("fiber bypass must be supported")
+	}
+}
+
+func TestCostAllKinds(t *testing.T) {
+	// Every kind has a defined, non-negative cost on every media, and
+	// datapath-disruptive kinds cost more than free queries.
+	kinds := []Kind{Break, Bundle, BypassOn, BypassOff, LaneOn, LaneOff, SetFEC, QueryStats}
+	for _, media := range []phy.Media{phy.Backplane, phy.CopperDAC, phy.OpticalFiber} {
+		p := phy.ProfileOf(media)
+		for _, k := range kinds {
+			lat, down := Cost(p, k)
+			if lat < 0 || down < 0 {
+				t.Errorf("%v/%v: negative cost", media, k)
+			}
+			if down > lat && k != BypassOn && k != BypassOff {
+				// Downtime cannot exceed the time until the primitive has
+				// taken effect (except instant-effect primitives).
+				t.Errorf("%v/%v: downtime %v exceeds latency %v", media, k, down, lat)
+			}
+		}
+		// Break disrupts the datapath; SetFEC forces a resync; both must
+		// report downtime.
+		if _, d := Cost(p, Break); d == 0 {
+			t.Errorf("%v: break reports no downtime", media)
+		}
+		if _, d := Cost(p, SetFEC); d == 0 {
+			t.Errorf("%v: set-fec reports no downtime", media)
+		}
+		// Lane off is instant (power gating); lane on needs training.
+		lOn, _ := Cost(p, LaneOn)
+		lOff, _ := Cost(p, LaneOff)
+		if lOff != 0 || lOn == 0 {
+			t.Errorf("%v: lane on/off costs inverted (%v/%v)", media, lOn, lOff)
+		}
+	}
+	// Unknown kinds cost nothing rather than panicking (forward compat).
+	if l, d := Cost(phy.ProfileOf(phy.Backplane), Kind(99)); l != 0 || d != 0 {
+		t.Error("unknown kind has nonzero cost")
+	}
+}
+
+func TestCostShapes(t *testing.T) {
+	for _, media := range []phy.Media{phy.Backplane, phy.OpticalFiber} {
+		p := phy.ProfileOf(media)
+		// Stats queries are free; bundling costs at least a retrain.
+		if l, d := Cost(p, QueryStats); l != 0 || d != 0 {
+			t.Errorf("%v: query-stats not free", media)
+		}
+		lBundle, _ := Cost(p, Bundle)
+		if lBundle < p.RetrainTime {
+			t.Errorf("%v: bundle cheaper than retrain", media)
+		}
+		// Bypass setup must match the media's circuit-switching class.
+		lBy, _ := Cost(p, BypassOn)
+		if lBy != p.BypassSetup {
+			t.Errorf("%v: bypass cost %v, want %v", media, lBy, p.BypassSetup)
+		}
+	}
+	// Optical bypass is slower than electrical — the ProjecToR vs Shoal gap
+	// the paper cites.
+	lOpt, _ := Cost(phy.ProfileOf(phy.OpticalFiber), BypassOn)
+	lElec, _ := Cost(phy.ProfileOf(phy.Backplane), BypassOn)
+	if lOpt <= lElec {
+		t.Error("optical bypass should cost more than electrical")
+	}
+}

@@ -1,0 +1,118 @@
+package ringctl
+
+import (
+	"sort"
+
+	"rackfab/internal/phy"
+	"rackfab/internal/power"
+	"rackfab/internal/sim"
+	"rackfab/internal/telemetry"
+)
+
+// PriceBook maintains the per-link price tags. A price is a dimensionless
+// congestion/latency/health/power composite ≥ 0; zero means an idle,
+// healthy, cheap link. Prices are EWMA-smoothed so one noisy epoch cannot
+// whipsaw the routing.
+type PriceBook struct {
+	weights   PriceWeights
+	smoothing float64
+	prices    map[phy.LinkID]*telemetry.EWMA
+
+	// refQueueDelay normalizes queue delay: a link whose mean VOQ delay
+	// equals it scores latency weight 1.
+	refQueueDelay sim.Duration
+	// refBER normalizes link health: measured BER at refBER scores health
+	// weight 1 (and clips above).
+	refBER float64
+}
+
+// NewPriceBook returns an empty book.
+func NewPriceBook(w PriceWeights, smoothing float64) *PriceBook {
+	return &PriceBook{
+		weights:       w,
+		smoothing:     smoothing,
+		prices:        make(map[phy.LinkID]*telemetry.EWMA),
+		refQueueDelay: 10 * sim.Microsecond,
+		refBER:        1e-6,
+	}
+}
+
+// Update folds one epoch of link reports into the book.
+func (b *PriceBook) Update(reports []LinkReport, budget *power.Budget) {
+	var powerDenom float64
+	if budget != nil && budget.CapW > 0 {
+		powerDenom = budget.CapW
+	}
+	for _, r := range reports {
+		raw := b.rawPrice(r, powerDenom)
+		e, ok := b.prices[r.Link]
+		if !ok {
+			e = telemetry.NewEWMA(b.smoothing)
+			b.prices[r.Link] = e
+		}
+		e.Observe(raw)
+	}
+}
+
+// rawPrice computes one report's instantaneous price.
+func (b *PriceBook) rawPrice(r LinkReport, powerDenom float64) float64 {
+	if !r.Up {
+		// A downed link is infinitely expensive, but the book keeps a
+		// large finite price so EWMA recovery works when it returns.
+		return 1e6
+	}
+	latTerm := float64(r.QueueDelay) / float64(b.refQueueDelay)
+	congTerm := r.Utilization * r.Utilization
+	healthTerm := r.MeasuredBER / b.refBER
+	if healthTerm > 1e3 {
+		healthTerm = 1e3
+	}
+	powerTerm := 0.0
+	if powerDenom > 0 {
+		powerTerm = r.PowerW / powerDenom
+	}
+	return b.weights.Latency*latTerm +
+		b.weights.Congestion*congTerm +
+		b.weights.Health*healthTerm +
+		b.weights.Power*powerTerm
+}
+
+// Price returns the smoothed price of a link (0 for unknown links: new
+// express channels start cheap by design).
+func (b *PriceBook) Price(id phy.LinkID) float64 {
+	if e, ok := b.prices[id]; ok {
+		return e.Value()
+	}
+	return 0
+}
+
+// Snapshot returns all known prices sorted by link ID.
+func (b *PriceBook) Snapshot() []struct {
+	Link  phy.LinkID
+	Price float64
+} {
+	out := make([]struct {
+		Link  phy.LinkID
+		Price float64
+	}, 0, len(b.prices))
+	for id, e := range b.prices {
+		out = append(out, struct {
+			Link  phy.LinkID
+			Price float64
+		}{id, e.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}
+
+// Mean returns the average price across known links (0 when empty).
+func (b *PriceBook) Mean() float64 {
+	if len(b.prices) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range b.prices {
+		sum += e.Value()
+	}
+	return sum / float64(len(b.prices))
+}

@@ -1,0 +1,191 @@
+// Package route computes fabric routing tables.
+//
+// The paper keeps the network layer untouched ("Backwards compatibility -
+// No restructuring of the network layer is needed"): hosts still hand
+// frames to their local switch, and switches forward on destination. What
+// the Closed Ring Control changes is the cost each link advertises — the
+// per-link price tag — and this package turns those prices into next-hop
+// tables. Routing is therefore plain weighted shortest path; adaptivity
+// comes entirely from re-pricing and re-building, not from a new protocol.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"rackfab/internal/topo"
+)
+
+// CostFunc prices one traversal of an edge. Costs must be positive and
+// finite for usable edges; return +Inf to exclude an edge.
+type CostFunc func(e *topo.Edge) float64
+
+// UniformCost prices every live edge at 1 (minimum hop count).
+func UniformCost(e *topo.Edge) float64 {
+	if !e.Link.Up() {
+		return math.Inf(1)
+	}
+	return 1
+}
+
+// Table holds next-hop routing state for every (node, destination) pair.
+type Table struct {
+	n       int
+	primary []*topo.Edge   // [from*n+dst] deterministic best next hop
+	ecmp    [][]*topo.Edge // [from*n+dst] all cost-tied next hops
+	dist    []float64      // [from*n+dst] total path cost
+}
+
+// Build runs one backward Dijkstra per destination over the live graph and
+// records, for every node, the incident edge(s) starting a minimum-cost
+// path to that destination.
+func Build(g *topo.Graph, cost CostFunc) *Table {
+	n := g.NumNodes()
+	t := &Table{
+		n:       n,
+		primary: make([]*topo.Edge, n*n),
+		ecmp:    make([][]*topo.Edge, n*n),
+		dist:    make([]float64, n*n),
+	}
+	for i := range t.dist {
+		t.dist[i] = math.Inf(1)
+	}
+	for dst := 0; dst < n; dst++ {
+		buildForDst(g, topo.NodeID(dst), cost, t)
+	}
+	return t
+}
+
+// buildForDst fills column dst of the table.
+func buildForDst(g *topo.Graph, dst topo.NodeID, cost CostFunc, t *Table) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[dst] = 0
+	pq := &nodeHeap{items: []nodeDist{{node: dst, dist: 0}}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if cur.dist > dist[cur.node] {
+			continue // stale entry
+		}
+		for _, e := range g.Adjacent(cur.node) {
+			c := cost(e)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if c <= 0 {
+				panic(fmt.Sprintf("route: non-positive edge cost %v on %d-%d", c, e.A, e.B))
+			}
+			next := e.Other(cur.node)
+			if nd := cur.dist + c; nd < dist[next] {
+				dist[next] = nd
+				heap.Push(pq, nodeDist{node: next, dist: nd})
+			}
+		}
+	}
+	// Record next hops: from every node, the edges that step onto a
+	// shortest path toward dst.
+	const eps = 1e-9
+	for from := 0; from < n; from++ {
+		idx := from*n + int(dst)
+		t.dist[idx] = dist[from]
+		if topo.NodeID(from) == dst || math.IsInf(dist[from], 1) {
+			continue
+		}
+		var ties []*topo.Edge
+		for _, e := range g.Adjacent(topo.NodeID(from)) {
+			c := cost(e)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if math.Abs(c+dist[e.Other(topo.NodeID(from))]-dist[from]) < eps {
+				ties = append(ties, e)
+			}
+		}
+		if len(ties) == 0 {
+			continue
+		}
+		t.primary[idx] = ties[0]
+		t.ecmp[idx] = ties
+	}
+}
+
+// NextHop returns the deterministic best next-hop edge from from toward to.
+// ok is false for self-delivery or unreachable destinations.
+func (t *Table) NextHop(from, to topo.NodeID) (*topo.Edge, bool) {
+	if from == to {
+		return nil, false
+	}
+	e := t.primary[int(from)*t.n+int(to)]
+	return e, e != nil
+}
+
+// NextHopECMP hash-spreads over all cost-tied next hops so distinct flows
+// between the same pair take distinct equal-cost paths.
+func (t *Table) NextHopECMP(from, to topo.NodeID, flowHash uint64) (*topo.Edge, bool) {
+	if from == to {
+		return nil, false
+	}
+	ties := t.ecmp[int(from)*t.n+int(to)]
+	if len(ties) == 0 {
+		return nil, false
+	}
+	return ties[flowHash%uint64(len(ties))], true
+}
+
+// Distance returns the total path cost from from to to (+Inf when
+// unreachable, 0 for self).
+func (t *Table) Distance(from, to topo.NodeID) float64 {
+	return t.dist[int(from)*t.n+int(to)]
+}
+
+// Reachable reports whether to can be reached from from.
+func (t *Table) Reachable(from, to topo.NodeID) bool {
+	return !math.IsInf(t.Distance(from, to), 1)
+}
+
+// Path materializes the primary path as an edge list. It returns an error
+// if the table is inconsistent (a routing loop), which would indicate a
+// build bug rather than a network condition.
+func (t *Table) Path(from, to topo.NodeID) ([]*topo.Edge, error) {
+	if from == to {
+		return nil, nil
+	}
+	var path []*topo.Edge
+	cur := from
+	for cur != to {
+		e, ok := t.NextHop(cur, to)
+		if !ok {
+			return nil, fmt.Errorf("route: no next hop from %d to %d", cur, to)
+		}
+		path = append(path, e)
+		cur = e.Other(cur)
+		if len(path) > t.n {
+			return nil, fmt.Errorf("route: loop routing %d→%d", from, to)
+		}
+	}
+	return path, nil
+}
+
+// nodeDist is a priority-queue entry.
+type nodeDist struct {
+	node topo.NodeID
+	dist float64
+}
+
+type nodeHeap struct{ items []nodeDist }
+
+func (h *nodeHeap) Len() int           { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
+func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Engine is a single-threaded future-event-list simulator. It is not safe
+// for concurrent use: all model code runs inside event callbacks on the
+// goroutine that calls Run, which is the same execution model OMNeT++ uses.
+type Engine struct {
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	running  bool
+	stopped  bool
+	limit    Time
+	maxEvent uint64 // safety valve against runaway models; 0 = unlimited
+}
+
+// ErrStopped is returned by Run when the model called Stop before the event
+// list drained.
+var ErrStopped = errors.New("sim: stopped by model")
+
+// New returns an engine with the clock at zero and an empty event list.
+func New() *Engine {
+	return &Engine{limit: Forever}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events waiting in the future event list.
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// SetEventLimit installs a safety cap on the number of executed events.
+// Run returns an error when the cap is reached. Zero removes the cap.
+func (e *Engine) SetEventLimit(n uint64) { e.maxEvent = n }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it is
+// always a model bug, and silently reordering time would invalidate results.
+// The label is kept for diagnostics and error reports.
+func (e *Engine) At(t Time, label string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v which is before now %v", label, t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	e.queue.push(ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. Negative d panics.
+func (e *Engine) After(d Duration, label string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling %q with negative delay %v", label, d))
+	}
+	return e.At(e.now.Add(d), label, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op, so holders need not track liveness.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	e.queue.remove(ev.index)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock to it. It returns
+// false when the event list is empty.
+func (e *Engine) Step() bool {
+	for e.queue.len() > 0 {
+		ev := e.queue.pop()
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the list drains, the optional time limit passes,
+// Stop is called, or the event safety cap trips.
+func (e *Engine) Run() error { return e.RunUntil(e.limit) }
+
+// RunUntil executes events with timestamps ≤ limit. The clock is left at the
+// last executed event (or moved to limit if the list drained earlier than the
+// limit with pending later events).
+func (e *Engine) RunUntil(limit Time) error {
+	if e.running {
+		return errors.New("sim: Run re-entered from inside an event")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for e.queue.len() > 0 {
+		next := e.queue.items[0]
+		if next.at > limit {
+			e.now = limit
+			return nil
+		}
+		if !e.Step() {
+			break
+		}
+		if e.stopped {
+			return ErrStopped
+		}
+		if e.maxEvent != 0 && e.executed >= e.maxEvent {
+			return fmt.Errorf("sim: event limit %d reached at %v (last %q)", e.maxEvent, e.now, next.label)
+		}
+	}
+	if limit != Forever && limit > e.now {
+		e.now = limit
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(450 * Nanosecond)
+	if got := t1.Sub(t0); got != 450*Nanosecond {
+		t.Fatalf("Sub = %v, want 450ns", got)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatalf("ordering broken: %v vs %v", t0, t1)
+	}
+	if s := (2 * Second).Seconds(); s != 2.0 {
+		t.Fatalf("Seconds = %v, want 2", s)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{450 * Nanosecond, "450ns"},
+		{12 * Microsecond, "12us"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+		{-450 * Nanosecond, "-450ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTransmission(t *testing.T) {
+	// 1500 B at 100 Gb/s = 120 ns.
+	d := Transmission(1500*8, 100e9)
+	if d != 120*Nanosecond {
+		t.Fatalf("Transmission(12000b, 100G) = %v, want 120ns", d)
+	}
+	// One byte at 25.78125G ≈ 310 ps — must not round to zero.
+	if d := Transmission(8, 25.78125e9); d <= 0 {
+		t.Fatalf("sub-ns transmission rounded to %v", d)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30*1000, "c", func() { order = append(order, 3) })
+	e.At(10*1000, "a", func() { order = append(order, 1) })
+	e.At(20*1000, "b", func() { order = append(order, 2) })
+	// Same instant: FIFO by schedule order.
+	e.At(20*1000, "b2", func() { order = append(order, 21) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 21, 3}
+	if len(order) != len(want) {
+		t.Fatalf("executed %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("executed %v, want %v", order, want)
+		}
+	}
+	if e.Now() != Time(30*1000) {
+		t.Fatalf("clock = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.After(10*Nanosecond, "outer", func() {
+		fired = append(fired, e.Now())
+		e.After(5*Nanosecond, "inner", func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != Time(10*Nanosecond) || fired[1] != Time(15*Nanosecond) {
+		t.Fatalf("fired at %v", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.After(10*Nanosecond, "x", func() { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []string
+	evs := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		name := string(rune('a' + i))
+		d := Duration(i+1) * Nanosecond
+		evs = append(evs, e.After(d, name, func() { got = append(got, name) }))
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "abcdfgij"
+	if joined := join(got); joined != want {
+		t.Fatalf("ran %q, want %q", joined, want)
+	}
+}
+
+func join(s []string) string {
+	out := ""
+	for _, x := range s {
+		out += x
+	}
+	return out
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Time(Microsecond), "tick", func() { count++ })
+	}
+	if err := e.RunUntil(Time(5 * Microsecond)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), "tick", func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	e := New()
+	e.SetEventLimit(5)
+	var tick func()
+	tick = func() { e.After(Nanosecond, "tick", tick) }
+	e.After(Nanosecond, "tick", tick)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected event-limit error")
+	}
+	if e.Executed() != 5 {
+		t.Fatalf("executed = %d, want 5", e.Executed())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10*Time(Nanosecond), "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5*Time(Nanosecond), "past", func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events always execute in nondecreasing time order regardless of
+// insertion order, and equal timestamps preserve insertion order.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) > 200 {
+			times = times[:200]
+		}
+		e := New()
+		var executed []Time
+		for _, v := range times {
+			e.At(Time(v)*Time(Nanosecond), "t", func() {
+				executed = append(executed, e.Now())
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(executed) != len(times) {
+			return false
+		}
+		return sort.SliceIsSorted(executed, func(i, j int) bool { return executed[i] < executed[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset never disturbs the order of the
+// survivors.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(times []uint16, mask []bool) bool {
+		if len(times) > 100 {
+			times = times[:100]
+		}
+		e := New()
+		type rec struct {
+			ev   *Event
+			at   Time
+			kill bool
+		}
+		recs := make([]rec, 0, len(times))
+		var executed []Time
+		for i, v := range times {
+			at := Time(v) * Time(Nanosecond)
+			ev := e.At(at, "t", func() { executed = append(executed, e.Now()) })
+			kill := i < len(mask) && mask[i]
+			recs = append(recs, rec{ev, at, kill})
+		}
+		want := 0
+		for _, r := range recs {
+			if r.kill {
+				e.Cancel(r.ev)
+			} else {
+				want++
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return len(executed) == want &&
+			sort.SliceIsSorted(executed, func(i, j int) bool { return executed[i] < executed[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+// Event is a scheduled callback in the future event list. Events are created
+// through Engine.At or Engine.After and may be cancelled until they fire.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break: schedule order within one instant
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+	label    string
+}
+
+// At returns the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Canceled reports whether the event was cancelled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue is a binary min-heap ordered by (at, seq). It implements the
+// subset of container/heap we need directly to avoid interface conversions on
+// the hottest path in the simulator.
+type eventQueue struct {
+	items []*Event
+}
+
+func (q *eventQueue) len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) push(e *Event) {
+	e.index = len(q.items)
+	q.items = append(q.items, e)
+	q.up(e.index)
+}
+
+func (q *eventQueue) pop() *Event {
+	n := len(q.items)
+	q.swap(0, n-1)
+	e := q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// remove deletes the event at heap index i.
+func (q *eventQueue) remove(i int) {
+	n := len(q.items)
+	if i == n-1 {
+		q.items[n-1].index = -1
+		q.items[n-1] = nil
+		q.items = q.items[:n-1]
+		return
+	}
+	q.swap(i, n-1)
+	q.items[n-1].index = -1
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	q.down(i)
+	q.up(i)
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

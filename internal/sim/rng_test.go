@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIsStableByLabel(t *testing.T) {
+	// Two parents with the same seed splitting the same label sequence must
+	// produce identical children.
+	a := NewRNG(7).Split("phy/link0")
+	b := NewRNG(7).Split("phy/link0")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-label children diverged")
+		}
+	}
+	// Different labels must give (overwhelmingly) different streams.
+	c := NewRNG(7).Split("phy/link1")
+	d := NewRNG(7).Split("phy/link2")
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-label children look identical (%d/50 equal)", same)
+	}
+}
+
+func TestSplitIndexed(t *testing.T) {
+	r1 := NewRNG(9).SplitIndexed("lane", 3)
+	r2 := NewRNG(9).SplitIndexed("lane", 3)
+	if r1.Float64() != r2.Float64() {
+		t.Fatal("SplitIndexed not reproducible")
+	}
+	r3 := NewRNG(9).SplitIndexed("lane", 4)
+	r4 := NewRNG(9).SplitIndexed("lane", 3)
+	if r3.Float64() == r4.Float64() {
+		t.Log("index collision on first draw (acceptable but unexpected)")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ≈5", mean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(2)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		const n = 50000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(mean))
+			sum += k
+			sq += k * k
+		}
+		m := sum / n
+		v := sq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.1 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(v-mean) > 0.1*mean+0.3 {
+			t.Errorf("Poisson(%v) var = %v", mean, v)
+		}
+	}
+}
+
+func TestBinomialRegimes(t *testing.T) {
+	r := NewRNG(3)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{10, 0.3},      // exact path
+		{100000, 1e-4}, // Poisson path
+		{100000, 0.4},  // normal path
+	}
+	for _, c := range cases {
+		const trials = 20000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			k := r.Binomial(c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d,%v) out of range: %d", c.n, c.p, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / trials
+		want := float64(c.n) * c.p
+		if math.Abs(mean-want) > 0.05*want+0.2 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want ≈%v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := NewRNG(4)
+	if r.Binomial(0, 0.5) != 0 || r.Binomial(10, 0) != 0 {
+		t.Fatal("degenerate binomial nonzero")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Fatal("p=1 binomial != n")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRNG(5)
+	const n = 100000
+	over := 0
+	for i := 0; i < n; i++ {
+		v := r.Pareto(1.5, 1000)
+		if v < 1000 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+		if v > 10000 {
+			over++
+		}
+	}
+	// P(X > 10·xm) = 10^-1.5 ≈ 0.0316.
+	frac := float64(over) / n
+	if math.Abs(frac-0.0316) > 0.01 {
+		t.Fatalf("Pareto tail fraction = %v, want ≈0.0316", frac)
+	}
+}
+
+func TestExpDurationPositive(t *testing.T) {
+	r := NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpDuration(10 * Picosecond); d < 1 {
+			t.Fatal("ExpDuration below 1ps")
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package switching
+
+import (
+	"testing"
+
+	"rackfab/internal/sim"
+)
+
+// harness wires a switch to scripted callbacks.
+type harness struct {
+	eng     *sim.Engine
+	sw      *Switch
+	sent    []sentRec
+	dropped []string
+	paused  map[int][]bool
+	forward func(f *Frame) (int, bool)
+	txTime  sim.Duration
+}
+
+type sentRec struct {
+	port int
+	id   uint64
+	at   sim.Time
+}
+
+func newHarness(ports int, cfg Config) *harness {
+	h := &harness{eng: sim.New(), paused: map[int][]bool{}, txTime: 100 * sim.Nanosecond}
+	h.forward = func(f *Frame) (int, bool) { return f.DstNode % ports, true }
+	cfg.Ports = ports
+	h.sw = New(0, h.eng, cfg, Callbacks{
+		Forward: func(f *Frame) (int, bool) { return h.forward(f) },
+		TxTime:  func(port int, f *Frame) sim.Duration { return h.txTime },
+		Transmit: func(port int, f *Frame) {
+			h.sent = append(h.sent, sentRec{port, f.ID, h.eng.Now()})
+		},
+		Drop:  func(f *Frame, reason string) { h.dropped = append(h.dropped, reason) },
+		Pause: func(port int, p bool) { h.paused[port] = append(h.paused[port], p) },
+	})
+	return h
+}
+
+func frame(id uint64, dst int) *Frame {
+	return &Frame{ID: id, DstNode: dst, DataBits: 12000, FlowID: id}
+}
+
+func TestSingleFrameLatency(t *testing.T) {
+	cfg := DefaultConfig(4)
+	h := newHarness(4, cfg)
+	h.eng.At(0, "inject", func() { h.sw.Inject(0, frame(1, 1)) })
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatalf("sent %d frames", len(h.sent))
+	}
+	// An uncontended frame leaves exactly one pipeline latency after inject.
+	if h.sent[0].at != sim.Time(cfg.PipelineLatency) {
+		t.Fatalf("egress at %v, want %v", h.sent[0].at, cfg.PipelineLatency)
+	}
+}
+
+func TestOutputSerializesInOrder(t *testing.T) {
+	h := newHarness(4, DefaultConfig(4))
+	h.eng.At(0, "inject", func() {
+		h.sw.Inject(0, frame(1, 1))
+		h.sw.Inject(0, frame(2, 1))
+		h.sw.Inject(0, frame(3, 1))
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 3 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	// Same input, same output: FIFO, spaced by txTime.
+	for i := 1; i < 3; i++ {
+		if h.sent[i].id != uint64(i+1) {
+			t.Fatalf("order broken: %v", h.sent)
+		}
+		gap := h.sent[i].at.Sub(h.sent[i-1].at)
+		if gap != 100*sim.Nanosecond {
+			t.Fatalf("gap %v, want txTime", gap)
+		}
+	}
+}
+
+func TestDistinctOutputsParallel(t *testing.T) {
+	h := newHarness(4, DefaultConfig(4))
+	h.eng.At(0, "inject", func() {
+		h.sw.Inject(0, frame(1, 1))
+		h.sw.Inject(1, frame(2, 2))
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 2 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	// No head-of-line blocking across outputs: both leave at pipeline time.
+	if h.sent[0].at != h.sent[1].at {
+		t.Fatalf("outputs serialized: %v", h.sent)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	h := newHarness(4, DefaultConfig(4))
+	// Two inputs contend for output 1 with two frames each.
+	h.eng.At(0, "inject", func() {
+		h.sw.Inject(0, frame(10, 1))
+		h.sw.Inject(0, frame(11, 1))
+		h.sw.Inject(2, frame(20, 1))
+		h.sw.Inject(2, frame(21, 1))
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 4 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	// Round robin must interleave the inputs rather than draining one.
+	first := h.sent[0].id / 10
+	second := h.sent[1].id / 10
+	if first == second {
+		t.Fatalf("arbiter drained one input: %v", h.sent)
+	}
+}
+
+func TestNoRouteDrops(t *testing.T) {
+	h := newHarness(4, DefaultConfig(4))
+	h.forward = func(f *Frame) (int, bool) { return 0, false }
+	h.eng.At(0, "inject", func() { h.sw.Inject(0, frame(1, 1)) })
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.dropped) != 1 || h.dropped[0] != "no-route" {
+		t.Fatalf("drops = %v", h.dropped)
+	}
+	if h.sw.Stats().Dropped.Value() != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestVOQOverflowDrops(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.VOQCapacity = 4
+	cfg.PauseHighWatermark = 3
+	cfg.PauseLowWatermark = 1
+	h := newHarness(2, cfg)
+	h.txTime = 10 * sim.Microsecond // slow drain
+	h.eng.At(0, "inject", func() {
+		for i := 0; i < 10; i++ {
+			h.sw.Inject(0, frame(uint64(i), 1))
+		}
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	overflow := 0
+	for _, r := range h.dropped {
+		if r == "voq-overflow" {
+			overflow++
+		}
+	}
+	if overflow != 6 {
+		t.Fatalf("overflow drops = %d, want 6 (cap 4)", overflow)
+	}
+}
+
+func TestPauseWatermarks(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.VOQCapacity = 16
+	cfg.PauseHighWatermark = 4
+	cfg.PauseLowWatermark = 2
+	h := newHarness(2, cfg)
+	h.txTime = sim.Microsecond
+	h.eng.At(0, "inject", func() {
+		for i := 0; i < 6; i++ {
+			h.sw.Inject(0, frame(uint64(i), 1))
+		}
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := h.paused[0]
+	if len(events) < 2 {
+		t.Fatalf("pause events = %v", events)
+	}
+	if events[0] != true {
+		t.Fatal("first event should pause")
+	}
+	if events[len(events)-1] != false {
+		t.Fatal("should resume after draining")
+	}
+}
+
+func TestOutputPauseHolds(t *testing.T) {
+	h := newHarness(2, DefaultConfig(2))
+	h.eng.At(0, "setup", func() {
+		h.sw.SetOutputPaused(1, true)
+		h.sw.Inject(0, frame(1, 1))
+	})
+	h.eng.At(sim.Time(50*sim.Microsecond), "release", func() {
+		h.sw.SetOutputPaused(1, false)
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatalf("sent %d", len(h.sent))
+	}
+	if h.sent[0].at != sim.Time(50*sim.Microsecond) {
+		t.Fatalf("frame left at %v despite pause until 50us", h.sent[0].at)
+	}
+}
+
+func TestQueueDelayStats(t *testing.T) {
+	h := newHarness(2, DefaultConfig(2))
+	h.eng.At(0, "inject", func() {
+		h.sw.Inject(0, frame(1, 1))
+		h.sw.Inject(0, frame(2, 1))
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.sw.Stats()
+	if st.Forwarded.Value() != 2 {
+		t.Fatalf("forwarded = %d", st.Forwarded.Value())
+	}
+	// The second frame waited at least one txTime.
+	if st.QueueDelay.Max() < int64(100*sim.Nanosecond) {
+		t.Fatalf("max queue delay = %d", st.QueueDelay.Max())
+	}
+}
+
+func TestPauseWatchdogBreaksDeadlock(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.PauseWatchdog = 20 * sim.Microsecond
+	h := newHarness(2, cfg)
+	h.eng.At(0, "setup", func() {
+		// Downstream never releases: without the watchdog this frame
+		// would be stranded forever (the PFC circular-wait pattern).
+		h.sw.SetOutputPaused(1, true)
+		h.sw.Inject(0, frame(1, 1))
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatalf("sent %d frames; watchdog never fired", len(h.sent))
+	}
+	if h.sent[0].at != sim.Time(20*sim.Microsecond) {
+		t.Fatalf("watchdog released at %v, want 20us", h.sent[0].at)
+	}
+	if h.sw.WatchdogTrips() != 1 {
+		t.Fatalf("watchdog trips = %d", h.sw.WatchdogTrips())
+	}
+}
+
+func TestPauseWatchdogNotTrippedByNormalRelease(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.PauseWatchdog = 100 * sim.Microsecond
+	h := newHarness(2, cfg)
+	h.eng.At(0, "setup", func() {
+		h.sw.SetOutputPaused(1, true)
+		h.sw.Inject(0, frame(1, 1))
+	})
+	h.eng.At(sim.Time(10*sim.Microsecond), "release", func() {
+		h.sw.SetOutputPaused(1, false)
+	})
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h.sw.WatchdogTrips() != 0 {
+		t.Fatal("watchdog tripped despite normal release")
+	}
+	if len(h.sent) != 1 || h.sent[0].at != sim.Time(10*sim.Microsecond) {
+		t.Fatalf("sent = %v", h.sent)
+	}
+	// A later re-pause gets a fresh watchdog generation.
+	h.eng.At(h.eng.Now(), "repause", func() { h.sw.SetOutputPaused(1, true) })
+	if err := h.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CutThrough.String() != "cut-through" || StoreAndForward.String() != "store-and-forward" {
+		t.Fatal("mode names broken")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, sim.New(), Config{Ports: 0}, Callbacks{
+		Forward:  func(f *Frame) (int, bool) { return 0, true },
+		TxTime:   func(int, *Frame) sim.Duration { return 1 },
+		Transmit: func(int, *Frame) {},
+	})
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Metric is anything the registry can snapshot into a report row.
+type Metric interface {
+	// Sample returns the metric's current scalar value(s) keyed by suffix.
+	// A plain counter returns {"": v}; a histogram returns p50/p99/... rows.
+	Sample() map[string]float64
+}
+
+// counterMetric, gaugeMetric, histMetric adapt the concrete types.
+type counterMetric struct{ c *Counter }
+
+func (m counterMetric) Sample() map[string]float64 {
+	return map[string]float64{"": float64(m.c.Value())}
+}
+
+type gaugeMetric struct{ g *Gauge }
+
+func (m gaugeMetric) Sample() map[string]float64 {
+	return map[string]float64{"": m.g.Value()}
+}
+
+type histMetric struct{ h *Histogram }
+
+func (m histMetric) Sample() map[string]float64 {
+	s := m.h.Summarize()
+	return map[string]float64{
+		".count": float64(s.Count),
+		".mean":  s.Mean,
+		".p50":   float64(s.P50),
+		".p99":   float64(s.P99),
+		".max":   float64(s.Max),
+	}
+}
+
+// Registry is a named collection of metrics. Components register their
+// instruments at construction; experiments snapshot the registry at the end
+// of a run. Registration order is preserved in reports.
+type Registry struct {
+	names   []string
+	metrics map[string]Metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]Metric)}
+}
+
+// register adds m under name, panicking on duplicates: two components
+// claiming one name is always a wiring bug.
+func (r *Registry) register(name string, m Metric) {
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.names = append(r.names, name)
+	r.metrics[name] = m
+}
+
+// Counter creates and registers a counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.register(name, counterMetric{c})
+	return c
+}
+
+// Gauge creates and registers a gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.register(name, gaugeMetric{g})
+	return g
+}
+
+// Histogram creates and registers a histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := NewHistogram()
+	r.register(name, histMetric{h})
+	return h
+}
+
+// Snapshot returns all metric values, flattened to "name[suffix]" keys.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, name := range r.names {
+		for suffix, v := range r.metrics[name].Sample() {
+			out[name+suffix] = v
+		}
+	}
+	return out
+}
+
+// WriteTo renders the snapshot as an aligned two-column table.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	width := 0
+	for _, k := range keys {
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	var n int64
+	for _, k := range keys {
+		c, err := fmt.Fprintf(w, "%-*s %.6g\n", width, k, snap[k])
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,88 @@
+package topo
+
+import "fmt"
+
+// newGraph allocates the shared layout plumbing.
+func newGraph(kind string, w, h int, opts Options) *Graph {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("topo: %s dimensions %dx%d invalid", kind, w, h))
+	}
+	opts = opts.withDefaults()
+	g := &Graph{kind: kind, width: w, height: h, opts: opts}
+	g.coords = make([]Coord, w*h)
+	g.adj = make([][]*Edge, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.coords[y*w+x] = Coord{x, y}
+		}
+	}
+	return g
+}
+
+// NewGrid builds a w×h 2-D mesh: each node links to its right and down
+// neighbours. This is Figure 2's starting topology.
+func NewGrid(w, h int, opts Options) *Graph {
+	g := newGraph("grid", w, h, opts)
+	spacing := g.opts.NodeSpacingM
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n := g.NodeAt(x, y)
+			if x+1 < w {
+				g.addEdge(n, g.NodeAt(x+1, y), spacing)
+			}
+			if y+1 < h {
+				g.addEdge(n, g.NodeAt(x, y+1), spacing)
+			}
+		}
+	}
+	return g
+}
+
+// NewTorus builds a w×h 2-D torus: a grid plus row and column wrap links.
+// Wrap links span the folded distance back across the rack, so their
+// physical length is (dim−1)×spacing. This is Figure 2's target topology
+// when built natively (the planner instead reaches it from a grid through
+// PLP commands).
+func NewTorus(w, h int, opts Options) *Graph {
+	g := newGraph("torus", w, h, opts)
+	spacing := g.opts.NodeSpacingM
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n := g.NodeAt(x, y)
+			if x+1 < w {
+				g.addEdge(n, g.NodeAt(x+1, y), spacing)
+			} else if w > 2 {
+				g.addEdge(n, g.NodeAt(0, y), float64(w-1)*spacing)
+			}
+			if y+1 < h {
+				g.addEdge(n, g.NodeAt(x, y+1), spacing)
+			} else if h > 2 {
+				g.addEdge(n, g.NodeAt(x, 0), float64(h-1)*spacing)
+			}
+		}
+	}
+	return g
+}
+
+// NewLine builds a 1×n chain — the smallest useful fabric, used for the
+// hardware-PoC validation experiments.
+func NewLine(n int, opts Options) *Graph {
+	g := newGraph("line", n, 1, opts)
+	for x := 0; x+1 < n; x++ {
+		g.addEdge(g.NodeAt(x, 0), g.NodeAt(x+1, 0), g.opts.NodeSpacingM)
+	}
+	return g
+}
+
+// NewRing builds a 1×n cycle.
+func NewRing(n int, opts Options) *Graph {
+	if n < 3 {
+		panic("topo: ring needs ≥3 nodes")
+	}
+	g := newGraph("ring", n, 1, opts)
+	for x := 0; x+1 < n; x++ {
+		g.addEdge(g.NodeAt(x, 0), g.NodeAt(x+1, 0), g.opts.NodeSpacingM)
+	}
+	g.addEdge(g.NodeAt(n-1, 0), g.NodeAt(0, 0), float64(n-1)*g.opts.NodeSpacingM)
+	return g
+}

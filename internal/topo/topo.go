@@ -1,0 +1,216 @@
+// Package topo builds and reasons about rack fabric topologies.
+//
+// The paper's running example (Figure 2) starts from "a grid topology of
+// two lanes per link" and reconfigures into "a torus topology running at
+// one lane per link" — the torus wrap links are realized by breaking each
+// grid link's bundle and stitching the freed lanes into physical-layer
+// bypass channels across a row or column. This package provides the
+// builders (grid, torus, ring, line), the graph queries the control plane
+// needs (connectivity, hop counts), and the planner that compiles a
+// topology mutation into an ordered list of Physical Layer Primitive
+// commands.
+package topo
+
+import (
+	"fmt"
+
+	"rackfab/internal/phy"
+)
+
+// NodeID identifies a node (a stripped-down rack-scale element: compute,
+// NVMe sled, DRAM pool) within a fabric. IDs are dense in [0, NumNodes).
+type NodeID int
+
+// Coord is a node's position on the rack's 2-D layout grid.
+type Coord struct{ X, Y int }
+
+// Edge is an undirected fabric connection carrying a physical link.
+type Edge struct {
+	// A and B are the endpoints; A < B for construction-time edges.
+	A, B NodeID
+	// Link is the physical lane bundle.
+	Link *phy.Link
+	// Express marks a physical-layer bypass channel created at runtime by
+	// PLP #2; Via lists the bypassed intermediate nodes in path order.
+	Express bool
+	Via     []NodeID
+}
+
+// ID returns the underlying link's identity.
+func (e *Edge) ID() phy.LinkID { return e.Link.ID }
+
+// Other returns the endpoint opposite n; it panics if n is not an endpoint.
+func (e *Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.A:
+		return e.B
+	case e.B:
+		return e.A
+	default:
+		panic(fmt.Sprintf("topo: node %d not on edge %d-%d", n, e.A, e.B))
+	}
+}
+
+// Touches reports whether n is an endpoint of e.
+func (e *Edge) Touches(n NodeID) bool { return e.A == n || e.B == n }
+
+// Options configures topology construction.
+type Options struct {
+	// LanesPerLink is the bundle width of every constructed link
+	// (default 2, matching Figure 2's starting point).
+	LanesPerLink int
+	// LaneRate is the per-lane signalling rate in bit/s
+	// (default 25.78125e9, the paper's canonical 100G/4 example).
+	LaneRate float64
+	// Media is the link media (default phy.Backplane).
+	Media phy.Media
+	// NodeSpacingM is the physical distance between adjacent nodes
+	// (default 2.0 m, Figure 1's "switch every 2 meters").
+	NodeSpacingM float64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.LanesPerLink == 0 {
+		o.LanesPerLink = 2
+	}
+	if o.LaneRate == 0 {
+		o.LaneRate = 25.78125e9
+	}
+	if o.NodeSpacingM == 0 {
+		o.NodeSpacingM = 2.0
+	}
+	return o
+}
+
+// Graph is a fabric topology: nodes on a coordinate grid plus undirected
+// edges. It is mutated only through AddExpress/RemoveExpress (runtime
+// bypass channels); the constructed fabric links themselves persist and
+// change shape via their phy.Link state.
+type Graph struct {
+	kind          string
+	width, height int
+	coords        []Coord
+	edges         []*Edge
+	adj           [][]*Edge
+	opts          Options
+	nextLink      phy.LinkID
+}
+
+// Kind names the construction ("grid", "torus", "ring", "line").
+func (g *Graph) Kind() string { return g.kind }
+
+// Width returns the layout width in nodes.
+func (g *Graph) Width() int { return g.width }
+
+// Height returns the layout height in nodes.
+func (g *Graph) Height() int { return g.height }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.coords) }
+
+// Options returns the construction options (defaults resolved).
+func (g *Graph) Options() Options { return g.opts }
+
+// Edges returns all edges, construction-time and express.
+func (g *Graph) Edges() []*Edge { return g.edges }
+
+// Adjacent returns the edges incident to n.
+func (g *Graph) Adjacent(n NodeID) []*Edge { return g.adj[n] }
+
+// Coord returns n's layout position.
+func (g *Graph) Coord(n NodeID) Coord { return g.coords[n] }
+
+// NodeAt returns the node at (x, y).
+func (g *Graph) NodeAt(x, y int) NodeID {
+	if x < 0 || x >= g.width || y < 0 || y >= g.height {
+		panic(fmt.Sprintf("topo: coordinate (%d,%d) outside %dx%d", x, y, g.width, g.height))
+	}
+	return NodeID(y*g.width + x)
+}
+
+// EdgeBetween returns the non-express edge joining a and b, if any.
+func (g *Graph) EdgeBetween(a, b NodeID) (*Edge, bool) {
+	for _, e := range g.adj[a] {
+		if !e.Express && e.Touches(b) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// ExpressBetween returns the express edge joining a and b, if any.
+func (g *Graph) ExpressBetween(a, b NodeID) (*Edge, bool) {
+	for _, e := range g.adj[a] {
+		if e.Express && e.Touches(b) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// LinkByID finds an edge by its physical link ID.
+func (g *Graph) LinkByID(id phy.LinkID) (*Edge, bool) {
+	for _, e := range g.edges {
+		if e.Link.ID == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// addEdge wires a constructed edge between a and b.
+func (g *Graph) addEdge(a, b NodeID, lengthM float64) *Edge {
+	if a > b {
+		a, b = b, a
+	}
+	link, err := phy.NewLink(g.nextLink, g.opts.Media, lengthM, g.opts.LanesPerLink, g.opts.LaneRate)
+	if err != nil {
+		panic(fmt.Sprintf("topo: building link %d: %v", g.nextLink, err))
+	}
+	g.nextLink++
+	e := &Edge{A: a, B: b, Link: link}
+	g.edges = append(g.edges, e)
+	g.adj[a] = append(g.adj[a], e)
+	g.adj[b] = append(g.adj[b], e)
+	return e
+}
+
+// AddExpress installs a runtime express edge between a and b whose physical
+// channel link is provided by the caller (the fabric builds it from freed
+// bypassed lanes). Via lists the bypassed intermediate nodes.
+func (g *Graph) AddExpress(a, b NodeID, via []NodeID, link *phy.Link) *Edge {
+	e := &Edge{A: a, B: b, Link: link, Express: true, Via: append([]NodeID(nil), via...)}
+	g.edges = append(g.edges, e)
+	g.adj[a] = append(g.adj[a], e)
+	g.adj[b] = append(g.adj[b], e)
+	return e
+}
+
+// RemoveExpress deletes a runtime express edge. Construction edges cannot
+// be removed — their links are turned off instead.
+func (g *Graph) RemoveExpress(e *Edge) error {
+	if !e.Express {
+		return fmt.Errorf("topo: cannot remove construction edge %d-%d", e.A, e.B)
+	}
+	g.edges = removeEdge(g.edges, e)
+	g.adj[e.A] = removeEdge(g.adj[e.A], e)
+	g.adj[e.B] = removeEdge(g.adj[e.B], e)
+	return nil
+}
+
+func removeEdge(s []*Edge, e *Edge) []*Edge {
+	for i, x := range s {
+		if x == e {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// NextLinkID hands out fresh physical link IDs for runtime express links.
+func (g *Graph) NextLinkID() phy.LinkID {
+	id := g.nextLink
+	g.nextLink++
+	return id
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rackfab/internal/sim"
+)
+
+// Trace I/O: flow specs serialize to a simple CSV so external traces —
+// the production workloads the paper's authors would replay — can be
+// imported, and generated workloads can be exported for replay on other
+// engines (the packet engine, the fluid engine, and the PoC model all
+// accept the same FlowSpec list, which is what makes cross-validation
+// meaningful).
+//
+// Format: header then one flow per line:
+//
+//	src,dst,bytes,at_ns,label
+//	0,12,65536,1500,shuffle
+
+// traceHeader is the canonical column set.
+const traceHeader = "src,dst,bytes,at_ns,label"
+
+// WriteTrace writes specs as CSV.
+func WriteTrace(w io.Writer, specs []FlowSpec) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, traceHeader); err != nil {
+		return err
+	}
+	for i, s := range specs {
+		label := strings.ReplaceAll(s.Label, ",", ";")
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%s\n",
+			s.Src, s.Dst, s.Bytes, int64(s.At)/int64(sim.Nanosecond), label); err != nil {
+			return fmt.Errorf("workload: writing trace row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a CSV trace. Rows are validated structurally; use
+// ValidateSpecs to bound-check endpoints against a fabric.
+func ReadTrace(r io.Reader) ([]FlowSpec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	var specs []FlowSpec
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if line == 1 && text == traceHeader {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("workload: trace line %d has %d fields, want 5", line, len(fields))
+		}
+		src, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d src: %w", line, err)
+		}
+		dst, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d dst: %w", line, err)
+		}
+		bytes, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d bytes: %w", line, err)
+		}
+		atNs, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d at_ns: %w", line, err)
+		}
+		if atNs < 0 {
+			return nil, fmt.Errorf("workload: trace line %d has negative time", line)
+		}
+		specs = append(specs, FlowSpec{
+			Src: src, Dst: dst, Bytes: bytes,
+			At:    sim.Time(atNs) * sim.Time(sim.Nanosecond),
+			Label: fields[4],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return specs, nil
+}

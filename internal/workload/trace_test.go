@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rackfab/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(1)
+	specs := Uniform(rng, UniformConfig{
+		Nodes: 16, Flows: 100,
+		Size:             Pareto{Alpha: 1.5, MinBytes: 1000, MaxBytes: 1e8},
+		MeanInterarrival: sim.Microsecond,
+	})
+	var sb strings.Builder
+	if err := WriteTrace(&sb, specs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("rows = %d, want %d", len(got), len(specs))
+	}
+	for i := range specs {
+		// Times are truncated to nanoseconds in the trace format.
+		wantAt := specs[i].At / sim.Time(sim.Nanosecond) * sim.Time(sim.Nanosecond)
+		if got[i].Src != specs[i].Src || got[i].Dst != specs[i].Dst ||
+			got[i].Bytes != specs[i].Bytes || got[i].At != wantAt || got[i].Label != specs[i].Label {
+			t.Fatalf("row %d: %+v vs %+v", i, got[i], specs[i])
+		}
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	in := `src,dst,bytes,at_ns,label
+# a comment
+0,1,1000,0,probe
+
+2,3,2000,500,bulk
+`
+	specs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[1].Label != "bulk" {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[1].At != sim.Time(500*sim.Nanosecond) {
+		t.Fatalf("at = %v", specs[1].At)
+	}
+}
+
+func TestTraceRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"0,1,1000,0",              // missing field
+		"x,1,1000,0,l",            // bad src
+		"0,y,1000,0,l",            // bad dst
+		"0,1,z,0,l",               // bad bytes
+		"0,1,1000,q,l",            // bad time
+		"0,1,1000,-5,l",           // negative time
+		"0,1,1000,0,l,extra,more", // too many fields
+	}
+	for _, line := range bad {
+		if _, err := ReadTrace(strings.NewReader(line)); err == nil {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}
+
+func TestTraceLabelCommaEscaped(t *testing.T) {
+	specs := []FlowSpec{{Src: 0, Dst: 1, Bytes: 10, Label: "a,b"}}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, specs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Label != "a;b" {
+		t.Fatalf("label = %q", got[0].Label)
+	}
+}
+
+// Property: write→read is lossless for valid specs (modulo ns truncation
+// and comma escaping).
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		n := 1 + int(nRaw)%50
+		specs := make([]FlowSpec, n)
+		for i := range specs {
+			specs[i] = FlowSpec{
+				Src:   rng.Intn(64),
+				Dst:   rng.Intn(64),
+				Bytes: 1 + rng.Int63()%1e9,
+				At:    sim.Time(rng.Int63()%1e15) * sim.Time(sim.Nanosecond),
+				Label: "flow",
+			}
+		}
+		var sb strings.Builder
+		if err := WriteTrace(&sb, specs); err != nil {
+			return false
+		}
+		got, err := ReadTrace(strings.NewReader(sb.String()))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range specs {
+			if got[i] != specs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(121))}); err != nil {
+		t.Fatal(err)
+	}
+}

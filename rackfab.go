@@ -1,0 +1,341 @@
+// Package rackfab is the public API of the adaptive rack-scale fabric
+// library: a from-scratch reproduction of "High speed adaptive rack-scale
+// fabrics" (Sella, Moore, Zilberman — SIGCOMM 2018).
+//
+// A Cluster is a simulated rack: a topology of stripped-down nodes joined
+// by multi-lane physical links, a cut-through switch and a host NIC per
+// node, and optionally the paper's Closed Ring Control (CRC) driving the
+// Physical Layer Primitives (PLP) — link breaking/bundling, high-speed
+// bypass, lane power, adaptive FEC, per-lane statistics.
+//
+// Quickstart:
+//
+//	cluster, err := rackfab.New(rackfab.Config{
+//		Topology: rackfab.Grid, Width: 4, Height: 4,
+//		Control:  rackfab.ControlOn(),
+//	})
+//	...
+//	flows, _ := cluster.Inject(rackfab.UniformTraffic(cluster, 200, 64<<10))
+//	_ = cluster.RunUntilDone(time.Second)
+//	report := cluster.Report()
+//
+// All time inputs are wall-clock time.Durations of *simulated* time; the
+// engine itself runs at picosecond resolution internally.
+package rackfab
+
+import (
+	"fmt"
+	"time"
+
+	"rackfab/internal/fabric"
+	"rackfab/internal/host"
+	"rackfab/internal/phy"
+	"rackfab/internal/ringctl"
+	"rackfab/internal/sim"
+	"rackfab/internal/switching"
+	"rackfab/internal/topo"
+)
+
+// Topology selects the constructed fabric shape.
+type Topology string
+
+// Supported topologies.
+const (
+	// Grid is a 2-D mesh — the paper's Figure 2 starting point.
+	Grid Topology = "grid"
+	// Torus is a 2-D torus built natively (wrap cables at build time).
+	Torus Topology = "torus"
+	// Line is a 1-D chain (validation and microbenchmark fabrics).
+	Line Topology = "line"
+	// Ring is a 1-D cycle.
+	Ring Topology = "ring"
+)
+
+// Media selects the physical medium of all fabric links.
+type Media string
+
+// Supported media.
+const (
+	Backplane    Media = "backplane"
+	CopperDAC    Media = "copper-dac"
+	OpticalFiber Media = "optical-fiber"
+)
+
+// SwitchMode selects the forwarding discipline.
+type SwitchMode string
+
+// Supported switch modes.
+const (
+	CutThrough      SwitchMode = "cut-through"
+	StoreAndForward SwitchMode = "store-and-forward"
+)
+
+// ControlConfig configures the Closed Ring Control.
+type ControlConfig struct {
+	// Enabled turns the CRC on.
+	Enabled bool
+	// Epoch overrides the collection period (0 = derived from ring RTT).
+	Epoch time.Duration
+	// DisableFEC, DisableRouting, DisablePower, DisableBypass,
+	// DisableReconfig switch individual policies off (ablations).
+	DisableFEC, DisableRouting, DisablePower, DisableBypass, DisableReconfig bool
+	// ReconfigUtilization sets the grid→torus trigger threshold
+	// (0 = default).
+	ReconfigUtilization float64
+}
+
+// ControlOn returns a ControlConfig with every policy enabled.
+func ControlOn() ControlConfig { return ControlConfig{Enabled: true} }
+
+// Config assembles a cluster.
+type Config struct {
+	// Topology, Width, Height shape the fabric. Line/Ring use Width only.
+	Topology Topology
+	Width    int
+	Height   int
+	// LanesPerLink is the physical bundle width (default 2, per Figure 2).
+	LanesPerLink int
+	// Media is the link medium (default Backplane).
+	Media Media
+	// NodeSpacingM is the inter-node distance (default 2 m, per Figure 1).
+	NodeSpacingM float64
+	// SwitchMode is the forwarding discipline (default CutThrough).
+	SwitchMode SwitchMode
+	// PowerCapW caps rack power (0 = uncapped).
+	PowerCapW float64
+	// Seed drives every stochastic element; equal seeds reproduce runs
+	// exactly.
+	Seed int64
+	// Control configures the CRC.
+	Control ControlConfig
+}
+
+// Cluster is a running simulated rack.
+type Cluster struct {
+	cfg   Config
+	eng   *sim.Engine
+	graph *topo.Graph
+	fab   *fabric.Fabric
+	ctl   *ringctl.Controller
+}
+
+// New builds a cluster. The simulation clock starts at zero; nothing runs
+// until one of the Run methods is called.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Width <= 0 {
+		return nil, fmt.Errorf("rackfab: width must be positive")
+	}
+	media, err := mediaOf(cfg.Media)
+	if err != nil {
+		return nil, err
+	}
+	opts := topo.Options{
+		LanesPerLink: cfg.LanesPerLink,
+		Media:        media,
+		NodeSpacingM: cfg.NodeSpacingM,
+	}
+	var g *topo.Graph
+	switch cfg.Topology {
+	case Grid, "":
+		if cfg.Height <= 0 {
+			return nil, fmt.Errorf("rackfab: grid needs a positive height")
+		}
+		g = topo.NewGrid(cfg.Width, cfg.Height, opts)
+	case Torus:
+		if cfg.Height <= 0 {
+			return nil, fmt.Errorf("rackfab: torus needs a positive height")
+		}
+		g = topo.NewTorus(cfg.Width, cfg.Height, opts)
+	case Line:
+		g = topo.NewLine(cfg.Width, opts)
+	case Ring:
+		g = topo.NewRing(cfg.Width, opts)
+	default:
+		return nil, fmt.Errorf("rackfab: unknown topology %q", cfg.Topology)
+	}
+
+	eng := sim.New()
+	fcfg := fabric.DefaultConfig(g)
+	fcfg.Seed = cfg.Seed
+	fcfg.PowerCapW = cfg.PowerCapW
+	switch cfg.SwitchMode {
+	case CutThrough, "":
+		fcfg.Switch.Mode = switching.CutThrough
+	case StoreAndForward:
+		fcfg.Switch.Mode = switching.StoreAndForward
+	default:
+		return nil, fmt.Errorf("rackfab: unknown switch mode %q", cfg.SwitchMode)
+	}
+	fab, err := fabric.New(eng, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, eng: eng, graph: g, fab: fab}
+
+	if cfg.Control.Enabled {
+		ccfg := ringctl.DefaultConfig()
+		if cfg.Control.Epoch > 0 {
+			ccfg.Epoch = sim.Duration(cfg.Control.Epoch.Nanoseconds()) * sim.Nanosecond
+		}
+		ccfg.EnableFEC = !cfg.Control.DisableFEC
+		ccfg.EnableRouting = !cfg.Control.DisableRouting
+		ccfg.EnablePower = !cfg.Control.DisablePower
+		ccfg.EnableBypass = !cfg.Control.DisableBypass
+		ccfg.EnableReconfig = !cfg.Control.DisableReconfig
+		if cfg.Control.ReconfigUtilization > 0 {
+			ccfg.ReconfigUtilization = cfg.Control.ReconfigUtilization
+		}
+		c.ctl = ringctl.New(eng, fab, ccfg)
+		c.ctl.Start()
+	}
+	return c, nil
+}
+
+func mediaOf(m Media) (phy.Media, error) {
+	switch m {
+	case Backplane, "":
+		return phy.Backplane, nil
+	case CopperDAC:
+		return phy.CopperDAC, nil
+	case OpticalFiber:
+		return phy.OpticalFiber, nil
+	default:
+		return 0, fmt.Errorf("rackfab: unknown media %q", m)
+	}
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.graph.NumNodes() }
+
+// MeanHops returns the current mean shortest-path hop count — the metric
+// Figure 2's reconfiguration improves.
+func (c *Cluster) MeanHops() (float64, error) { return c.graph.MeanHops() }
+
+// PowerW returns the fabric's current draw in watts.
+func (c *Cluster) PowerW() float64 { return c.fab.TotalPowerW() }
+
+// RunFor advances simulated time by d.
+func (c *Cluster) RunFor(d time.Duration) error {
+	return c.fab.RunFor(simDur(d))
+}
+
+// RunUntilDone runs until every injected flow completes, or errors at the
+// simulated-time limit.
+func (c *Cluster) RunUntilDone(limit time.Duration) error {
+	return c.fab.RunUntilDone(sim.Time(simDur(limit)))
+}
+
+// ApplyGridToTorus executes Figure 2's reconfiguration immediately (the
+// CRC does this on its own when enabled and the fabric runs hot; this
+// entry point is for deterministic experiments). keepLanes is the switched
+// lane count left on every link (typically 1).
+func (c *Cluster) ApplyGridToTorus(keepLanes int) error {
+	ctl := c.ctl
+	if ctl == nil {
+		ctl = ringctl.New(c.eng, c.fab, ringctl.DefaultConfig())
+	}
+	return ctl.ApplyGridToTorus(keepLanes)
+}
+
+// SetLinkBER sets the true channel bit error rate on the link joining
+// nodes a and b (fault injection for the adaptive-FEC path).
+func (c *Cluster) SetLinkBER(a, b int, ber float64) error {
+	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
+	if !ok {
+		return fmt.Errorf("rackfab: no link between %d and %d", a, b)
+	}
+	for _, lane := range e.Link.Lanes {
+		lane.SetBER(ber)
+	}
+	return nil
+}
+
+// DisableLanes powers down n lanes on the link joining a and b (fault
+// injection / degradation for the adaptive-routing path).
+func (c *Cluster) DisableLanes(a, b, n int) error {
+	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
+	if !ok {
+		return fmt.Errorf("rackfab: no link between %d and %d", a, b)
+	}
+	if n >= e.Link.ActiveLanes() {
+		return fmt.Errorf("rackfab: refusing to darken the whole link (%d of %d lanes)", n, e.Link.ActiveLanes())
+	}
+	for i := 0; i < n; i++ {
+		lane := e.Link.Lanes[len(e.Link.Lanes)-1-i]
+		if err := lane.SetState(phy.LaneOff); err != nil {
+			return err
+		}
+	}
+	c.fab.RebuildRoutes(nil)
+	return nil
+}
+
+// LinkFECName reports the FEC profile currently installed on the link
+// joining a and b.
+func (c *Cluster) LinkFECName(a, b int) (string, error) {
+	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
+	if !ok {
+		return "", fmt.Errorf("rackfab: no link between %d and %d", a, b)
+	}
+	return e.Link.FEC().Name(), nil
+}
+
+// Decisions returns the CRC's decision log as printable lines (empty
+// without control enabled).
+func (c *Cluster) Decisions() []string {
+	if c.ctl == nil {
+		return nil
+	}
+	ds := c.ctl.Decisions()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// Now returns the current simulated time.
+func (c *Cluster) Now() time.Duration {
+	return time.Duration(c.eng.Now() / sim.Time(sim.Nanosecond) * sim.Time(time.Nanosecond))
+}
+
+// simDur converts an API duration (ns resolution) to simulator picoseconds.
+func simDur(d time.Duration) sim.Duration {
+	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// fromSim converts simulator picoseconds to an API duration (truncating
+// below a nanosecond).
+func fromSim(d sim.Duration) time.Duration {
+	return time.Duration(int64(d) / int64(sim.Nanosecond))
+}
+
+// Flow is a handle on one injected transfer.
+type Flow struct{ inner *host.Flow }
+
+// Done reports completion.
+func (f *Flow) Done() bool { return f.inner.Done() }
+
+// Failed reports the flow was abandoned after repeated retransmissions.
+func (f *Flow) Failed() bool { return f.inner.Failed() }
+
+// CompletionTime returns the flow completion time; it errors on unfinished
+// flows.
+func (f *Flow) CompletionTime() (time.Duration, error) {
+	if !f.inner.Done() {
+		return 0, fmt.Errorf("rackfab: flow %d unfinished", f.inner.ID)
+	}
+	return fromSim(f.inner.FCT()), nil
+}
+
+// Retransmits returns the number of retransmitted frames.
+func (f *Flow) Retransmits() int64 { return f.inner.Retransmits() }
+
+// Label returns the workload label.
+func (f *Flow) Label() string { return f.inner.Label }
+
+// Endpoints returns (src, dst) node IDs.
+func (f *Flow) Endpoints() (int, int) { return f.inner.Src, f.inner.Dst }
+
+// Bytes returns the flow size.
+func (f *Flow) Bytes() int64 { return f.inner.Bytes }

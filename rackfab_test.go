@@ -1,0 +1,208 @@
+package rackfab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{Topology: Grid, Width: 4}); err == nil {
+		t.Error("grid without height accepted")
+	}
+	if _, err := New(Config{Topology: "blob", Width: 4, Height: 4}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := New(Config{Topology: Grid, Width: 4, Height: 4, Media: "aether"}); err == nil {
+		t.Error("unknown media accepted")
+	}
+	if _, err := New(Config{Topology: Grid, Width: 4, Height: 4, SwitchMode: "warp"}); err == nil {
+		t.Error("unknown switch mode accepted")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := New(Config{Topology: Grid, Width: 4, Height: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 16 {
+		t.Fatalf("nodes = %d", c.Nodes())
+	}
+	flows, err := c.Inject(UniformTraffic(c, 50, 16<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if !f.Done() || f.Failed() {
+			t.Fatal("flow unfinished")
+		}
+		if d, err := f.CompletionTime(); err != nil || d <= 0 {
+			t.Fatalf("completion %v err %v", d, err)
+		}
+	}
+	rep := c.Report()
+	if rep.FlowsCompleted != 50 || rep.FramesDelivered == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "latency") {
+		t.Fatal("report text malformed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Report {
+		c, err := New(Config{Topology: Grid, Width: 4, Height: 4, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Inject(UniformTraffic(c, 40, 32<<10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntilDone(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return c.Report()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReconfigurationAPI(t *testing.T) {
+	c, err := New(Config{Topology: Grid, Width: 4, Height: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.MeanHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyGridToTorus(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.MeanHops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("mean hops %v → %v", before, after)
+	}
+}
+
+func TestControlDecisionsVisible(t *testing.T) {
+	c, err := New(Config{
+		Topology: Grid, Width: 4, Height: 4, Seed: 3,
+		Control: ControlConfig{Enabled: true, Epoch: 50 * time.Microsecond, ReconfigUtilization: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Inject(ShuffleTraffic(c, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Decisions()) == 0 {
+		t.Fatal("no CRC decisions")
+	}
+	rep := c.Report()
+	if rep.CRCDecisions != len(c.Decisions()) {
+		t.Fatal("decision counts disagree")
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	c, err := New(Config{Topology: Line, Width: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLinkBER(0, 1, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLinkBER(0, 2, 1e-6); err == nil {
+		t.Fatal("non-adjacent link accepted")
+	}
+	if err := c.DisableLanes(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DisableLanes(1, 2, 5); err == nil {
+		t.Fatal("darkening whole link accepted")
+	}
+	if name, err := c.LinkFECName(0, 1); err != nil || name != "none" {
+		t.Fatalf("FEC name %q err %v", name, err)
+	}
+}
+
+func TestJobCompletionTime(t *testing.T) {
+	c, err := New(Config{Topology: Grid, Width: 3, Height: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := c.Inject(ShuffleTraffic(c, 8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JobCompletionTime(flows); err == nil {
+		t.Fatal("JCT of unfinished job accepted")
+	}
+	if err := c.RunUntilDone(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	jct, err := JobCompletionTime(flows)
+	if err != nil || jct <= 0 {
+		t.Fatalf("JCT %v err %v", jct, err)
+	}
+}
+
+func TestIncastAndHotspotGenerators(t *testing.T) {
+	c, err := New(Config{Topology: Grid, Width: 4, Height: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := IncastTraffic(c, 5, 8, 32<<10)
+	if len(in) != 8 {
+		t.Fatalf("incast specs = %d", len(in))
+	}
+	hs := HotspotTraffic(c, 100, 2, 0.7, 16<<10)
+	if len(hs) != 100 {
+		t.Fatalf("hotspot specs = %d", len(hs))
+	}
+	if _, err := c.Inject(append(in, hs...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerCap(t *testing.T) {
+	c, err := New(Config{
+		Topology: Grid, Width: 4, Height: 4, Seed: 8,
+		PowerCapW: 100,
+		Control:   ControlOn(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Inject(UniformTraffic(c, 30, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunUntilDone(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.PowerW() <= 0 {
+		t.Fatal("no power accounting")
+	}
+}

@@ -1,0 +1,195 @@
+package rackfab
+
+import (
+	"fmt"
+	"time"
+
+	"rackfab/internal/fabric"
+	"rackfab/internal/host"
+	"rackfab/internal/sim"
+	"rackfab/internal/workload"
+)
+
+// FlowSpec describes one transfer to inject: Bytes from Src to Dst
+// starting At (simulated time from now).
+type FlowSpec struct {
+	Src, Dst int
+	Bytes    int64
+	At       time.Duration
+	Label    string
+}
+
+// Inject schedules flows into the cluster and returns their handles.
+func (c *Cluster) Inject(specs []FlowSpec) ([]*Flow, error) {
+	wl := make([]workload.FlowSpec, len(specs))
+	base := c.eng.Now()
+	for i, s := range specs {
+		wl[i] = workload.FlowSpec{
+			Src: s.Src, Dst: s.Dst, Bytes: s.Bytes,
+			At:    base.Add(simDur(s.At)),
+			Label: s.Label,
+		}
+	}
+	inner, err := c.fab.InjectFlows(wl)
+	if err != nil {
+		return nil, err
+	}
+	flows := make([]*Flow, len(inner))
+	for i, fl := range inner {
+		flows[i] = &Flow{inner: fl}
+	}
+	return flows, nil
+}
+
+// UniformTraffic generates open-loop uniform-random flows: count flows of
+// size bytes between random distinct pairs with Poisson arrivals (mean
+// inter-arrival 2 µs). The cluster's seed drives the draw.
+func UniformTraffic(c *Cluster, count int, size int64) []FlowSpec {
+	rng := sim.NewRNG(c.cfg.Seed).Split("traffic/uniform")
+	specs := workload.Uniform(rng, workload.UniformConfig{
+		Nodes: c.Nodes(), Flows: count,
+		Size:             workload.Fixed(size),
+		MeanInterarrival: 2 * sim.Microsecond,
+	})
+	return fromWorkload(specs)
+}
+
+// ShuffleTraffic generates one MapReduce shuffle: every node sends
+// bytesPerPair to every other node (the paper's motivating all-to-all).
+func ShuffleTraffic(c *Cluster, bytesPerPair int64) []FlowSpec {
+	rng := sim.NewRNG(c.cfg.Seed).Split("traffic/shuffle")
+	specs := workload.Shuffle(rng, workload.ShuffleConfig{
+		Mappers:      workload.Range(c.Nodes()),
+		Reducers:     workload.Range(c.Nodes()),
+		BytesPerPair: bytesPerPair,
+		Jitter:       10 * sim.Microsecond,
+	})
+	return fromWorkload(specs)
+}
+
+// IncastTraffic generates a fanIn-to-one burst into dst.
+func IncastTraffic(c *Cluster, dst, fanIn int, size int64) []FlowSpec {
+	rng := sim.NewRNG(c.cfg.Seed).Split("traffic/incast")
+	return fromWorkload(workload.Incast(rng, c.Nodes(), dst, fanIn, workload.Fixed(size)))
+}
+
+// HotspotTraffic generates skewed traffic: frac of count flows target the
+// first hot nodes.
+func HotspotTraffic(c *Cluster, count, hot int, frac float64, size int64) []FlowSpec {
+	rng := sim.NewRNG(c.cfg.Seed).Split("traffic/hotspot")
+	specs := workload.Hotspot(rng, workload.HotspotConfig{
+		Nodes: c.Nodes(), Flows: count,
+		Size:             workload.Fixed(size),
+		HotNodes:         hot,
+		HotFraction:      frac,
+		MeanInterarrival: 2 * sim.Microsecond,
+	})
+	return fromWorkload(specs)
+}
+
+func fromWorkload(specs []workload.FlowSpec) []FlowSpec {
+	out := make([]FlowSpec, len(specs))
+	for i, s := range specs {
+		out[i] = FlowSpec{
+			Src: s.Src, Dst: s.Dst, Bytes: s.Bytes,
+			At:    fromSim(s.At.Duration()),
+			Label: s.Label,
+		}
+	}
+	return out
+}
+
+// JobCompletionTime returns the barrier completion time of a flow group —
+// MapReduce's "reducer waits for all mappers". It errors if any flow is
+// unfinished.
+func JobCompletionTime(flows []*Flow) (time.Duration, error) {
+	hf := make([]*host.Flow, 0, len(flows))
+	for _, f := range flows {
+		hf = append(hf, f.inner)
+	}
+	jct, err := fabric.JobCompletionTime(hf)
+	if err != nil {
+		return 0, err
+	}
+	return fromSim(jct), nil
+}
+
+// Summary condenses a latency/size distribution for reports.
+type Summary struct {
+	Count        int64
+	MeanUs       float64
+	P50Us, P99Us float64
+	MaxUs        float64
+}
+
+// Report is a cluster-wide results snapshot.
+type Report struct {
+	// Latency is the end-to-end frame latency distribution.
+	Latency Summary
+	// FCT is the flow-completion-time distribution.
+	FCT Summary
+	// MeanHops is the delivered frames' mean switch-traversal count.
+	MeanHops float64
+	// FramesDelivered, FramesDropped, FramesCorrupt count datapath events.
+	FramesDelivered, FramesDropped, FramesCorrupt int64
+	// FlowsCompleted counts finished flows.
+	FlowsCompleted int64
+	// PowerPeakW and PowerNowW describe the rack envelope.
+	PowerPeakW, PowerNowW float64
+	// EnergyJ is the integrated consumption.
+	EnergyJ float64
+	// CRCDecisions counts logged controller actions.
+	CRCDecisions int
+}
+
+// Report snapshots the cluster's instruments.
+func (c *Cluster) Report() Report {
+	st := c.fab.Stats()
+	toSummary := func(h interface {
+		Count() int64
+		Mean() float64
+		Quantile(float64) int64
+		Max() int64
+	}) Summary {
+		const us = 1e6 // ps per µs
+		return Summary{
+			Count:  h.Count(),
+			MeanUs: h.Mean() / us,
+			P50Us:  float64(h.Quantile(0.5)) / us,
+			P99Us:  float64(h.Quantile(0.99)) / us,
+			MaxUs:  float64(h.Max()) / us,
+		}
+	}
+	r := Report{
+		Latency:         toSummary(st.Latency),
+		FCT:             toSummary(st.FCT),
+		MeanHops:        st.Hops.Mean(),
+		FramesDelivered: st.Delivered.Value(),
+		FramesDropped:   st.Dropped.Value(),
+		FramesCorrupt:   st.Corrupt.Value(),
+		FlowsCompleted:  st.FlowsCompleted.Value(),
+		PowerPeakW:      c.fab.PowerBudget().PeakW(),
+		PowerNowW:       c.fab.TotalPowerW(),
+		EnergyJ:         c.fab.PowerBudget().EnergyJ(),
+	}
+	if c.ctl != nil {
+		r.CRCDecisions = len(c.ctl.Decisions())
+	}
+	return r
+}
+
+// String renders the report as a compact block.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"frames: %d delivered, %d dropped, %d corrupt\n"+
+			"latency: mean %.2fus p50 %.2fus p99 %.2fus max %.2fus (mean hops %.2f)\n"+
+			"flows: %d complete, FCT p50 %.2fus p99 %.2fus\n"+
+			"power: now %.1fW peak %.1fW energy %.3fJ\n"+
+			"crc decisions: %d",
+		r.FramesDelivered, r.FramesDropped, r.FramesCorrupt,
+		r.Latency.MeanUs, r.Latency.P50Us, r.Latency.P99Us, r.Latency.MaxUs, r.MeanHops,
+		r.FlowsCompleted, r.FCT.P50Us, r.FCT.P99Us,
+		r.PowerNowW, r.PowerPeakW, r.EnergyJ,
+		r.CRCDecisions,
+	)
+}
