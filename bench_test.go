@@ -26,13 +26,43 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		table, err := run(experiment.Quick)
+		// Sequential on purpose: these benchmarks track per-experiment
+		// solver cost, so their numbers must not vary with the host's
+		// core count. BenchmarkSweepParallel measures the parallel arm.
+		table, err := run(experiment.Sequential(experiment.Quick))
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(table.Rows) == 0 {
 			b.Fatal("empty table")
 		}
+	}
+}
+
+// BenchmarkSweepParallel runs a representative experiment (E3: three
+// independent full-fabric trials) through the sweep runner sequentially
+// and with one worker per CPU. On multi-core hosts the parallel arm's
+// ns/op drops roughly with min(trials, cores); outputs are byte-identical
+// either way.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, arm := range []struct {
+		name     string
+		parallel int
+	}{
+		{"sequential", 1},
+		{"numcpu", 0},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				table, err := experiment.E3(experiment.Config{Scale: experiment.Quick, Parallel: arm.parallel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(table.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
 	}
 }
 

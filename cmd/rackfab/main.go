@@ -6,6 +6,7 @@
 //	rackfab fig1                 # Figure 1 at full scale
 //	rackfab -scale quick fig2    # Figure 2, benchmark-sized
 //	rackfab -csv out.csv e5      # also write CSV
+//	rackfab -parallel 8 e8       # fan independent trials over 8 workers
 //	rackfab all                  # run everything
 package main
 
@@ -21,6 +22,7 @@ func main() {
 	scaleFlag := flag.String("scale", "full", "experiment sizing: quick or full")
 	csvPath := flag.String("csv", "", "also write the table(s) as CSV to this path")
 	plotFlag := flag.Bool("plot", false, "render figures as ASCII charts where available")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent trials: 0 = one per CPU, 1 = sequential; results are identical at any setting")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -38,6 +40,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rackfab: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	cfg := experiment.Config{Scale: scale, Parallel: *parallel}
 
 	arg := flag.Arg(0)
 	switch arg {
@@ -54,7 +57,7 @@ func main() {
 		return
 	case "all":
 		for _, id := range experiment.IDs() {
-			if err := runOne(id, scale, *csvPath, *plotFlag); err != nil {
+			if err := runOne(id, cfg, *csvPath, *plotFlag); err != nil {
 				fmt.Fprintf(os.Stderr, "rackfab: %s: %v\n", id, err)
 				os.Exit(1)
 			}
@@ -62,19 +65,19 @@ func main() {
 		}
 		return
 	default:
-		if err := runOne(arg, scale, *csvPath, *plotFlag); err != nil {
+		if err := runOne(arg, cfg, *csvPath, *plotFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "rackfab: %s: %v\n", arg, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(id string, scale experiment.Scale, csvPath string, plot bool) error {
+func runOne(id string, cfg experiment.Config, csvPath string, plot bool) error {
 	run, ok := experiment.Lookup(id)
 	if !ok {
 		return fmt.Errorf("unknown experiment (try `rackfab list`)")
 	}
-	table, err := run(scale)
+	table, err := run(cfg)
 	if err != nil {
 		return err
 	}
@@ -105,8 +108,12 @@ func runOne(id string, scale experiment.Scale, csvPath string, plot bool) error 
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: rackfab [-scale quick|full] [-csv path] <experiment|list|all>
+	fmt.Fprintf(os.Stderr, `usage: rackfab [-scale quick|full] [-parallel N] [-csv path] <experiment|list|all>
        rackfab sim [-topo grid] [-width 4] [-height 4] [-workload uniform] …
+
+-parallel N fans an experiment's independent trials over N workers
+(0 = one per CPU, 1 = sequential). Every trial owns its own engine,
+fabric, and RNG streams, so output is byte-identical at any setting.
 
 experiments:
 `)

@@ -1,0 +1,3 @@
+module rackfab
+
+go 1.22

@@ -17,9 +17,9 @@ import (
 // (the paper's approach: measure, price, re-route). It is the ablation
 // that situates the Closed Ring Control between the two classical
 // oblivious designs.
-func A3(scale Scale) (*Table, error) {
-	side := scale.pick(4, 6)
-	flowBytes := int64(scale.pick(256e3, 1e6))
+func A3(cfg Config) (*Table, error) {
+	side := cfg.Scale.pick(4, 6)
+	flowBytes := int64(cfg.Scale.pick(256e3, 1e6))
 	n := side * side
 
 	type result struct {
@@ -65,15 +65,25 @@ func A3(scale Scale) (*Table, error) {
 		}, nil
 	}
 
+	modes := []string{"shortest", "vlb", "adaptive"}
+	trials := make([]Trial[*result], 0, len(modes))
+	for _, mode := range modes {
+		trials = append(trials, Trial[*result]{
+			Name: mode,
+			Run:  func() (*result, error) { return run(mode) },
+		})
+	}
+	res, err := Sweep(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		Title:   fmt.Sprintf("A3 — routing disciplines under a random permutation, %d nodes, %d B flows", n, flowBytes),
 		Columns: []string{"routing", "JCT (ms)", "FCT p99 (us)", "mean hops"},
 	}
-	for _, mode := range []string{"shortest", "vlb", "adaptive"} {
-		r, err := run(mode)
-		if err != nil {
-			return nil, err
-		}
+	for i, mode := range modes {
+		r := res[i]
 		t.AddRow(mode, ms(r.jct), us(r.fctP99), fmt.Sprintf("%.2f", r.meanHops))
 	}
 	t.AddNote("VLB pays ~2x hops for oblivious worst-case guarantees; the CRC adapts with measured prices instead")

@@ -13,9 +13,9 @@ import (
 // function against latency-only, congestion-only, and no re-pricing at
 // all. It shows which feedback terms the Closed Ring Control actually
 // needs to tame a skewed load.
-func A1(scale Scale) (*Table, error) {
-	side := scale.pick(4, 6)
-	flows := scale.pick(120, 600)
+func A1(cfg Config) (*Table, error) {
+	side := cfg.Scale.pick(4, 6)
+	flows := cfg.Scale.pick(120, 600)
 	n := side * side
 
 	run := func(weights *ringctl.PriceWeights) (sim.Duration, sim.Duration, error) {
@@ -54,11 +54,8 @@ func A1(scale Scale) (*Table, error) {
 	latOnly := ringctl.PriceWeights{Latency: 1}
 	congOnly := ringctl.PriceWeights{Congestion: 1}
 
-	t := &Table{
-		Title:   fmt.Sprintf("A1 — price-weight ablation, hotspot load on %d nodes (2 hot)", n),
-		Columns: []string{"pricing", "FCT p50 (us)", "FCT p99 (us)"},
-	}
-	for _, c := range []struct {
+	type quantiles struct{ p50, p99 sim.Duration }
+	cases := []struct {
 		name string
 		w    *ringctl.PriceWeights
 	}{
@@ -66,12 +63,28 @@ func A1(scale Scale) (*Table, error) {
 		{"full price function", &full},
 		{"latency term only", &latOnly},
 		{"congestion term only", &congOnly},
-	} {
-		p50, p99, err := run(c.w)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(c.name, us(p50), us(p99))
+	}
+	trials := make([]Trial[quantiles], 0, len(cases))
+	for _, c := range cases {
+		trials = append(trials, Trial[quantiles]{
+			Name: c.name,
+			Run: func() (quantiles, error) {
+				p50, p99, err := run(c.w)
+				return quantiles{p50, p99}, err
+			},
+		})
+	}
+	res, err := Sweep(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("A1 — price-weight ablation, hotspot load on %d nodes (2 hot)", n),
+		Columns: []string{"pricing", "FCT p50 (us)", "FCT p99 (us)"},
+	}
+	for i, c := range cases {
+		t.AddRow(c.name, us(res[i].p50), us(res[i].p99))
 	}
 	t.AddNote("when the hot endpoints' own links are the bottleneck, no re-routing can create capacity:")
 	t.AddNote("the ablation isolates how each price term shifts the tail around that floor (congestion pricing")
@@ -83,7 +96,8 @@ func A1(scale Scale) (*Table, error) {
 // channels of PLP #2, CRC otherwise identical. The paper frames bypass as
 // "pre-fetching at the physical layer"; the elephant completion times are
 // where it pays.
-func A2(scale Scale) (*Table, error) {
+func A2(cfg Config) (*Table, error) {
+	scale := cfg.Scale
 	side := scale.pick(4, 6)
 	elephantBytes := int64(scale.pick(8e6, 64e6))
 	n := side * side
@@ -154,14 +168,24 @@ func A2(scale Scale) (*Table, error) {
 		return flows[0].FCT(), express, nil
 	}
 
-	without, _, err := run(false)
+	type arm struct {
+		fct      sim.Duration
+		channels int
+	}
+	res, err := Sweep(cfg, []Trial[arm]{
+		{Name: "no-bypass", Run: func() (arm, error) {
+			fct, ch, err := run(false)
+			return arm{fct, ch}, err
+		}},
+		{Name: "bypass", Run: func() (arm, error) {
+			fct, ch, err := run(true)
+			return arm{fct, ch}, err
+		}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	with, channels, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	without, with, channels := res[0].fct, res[1].fct, res[1].channels
 
 	t := &Table{
 		Title:   fmt.Sprintf("A2 — bypass ablation: %d MB elephant through cross traffic, %d nodes", elephantBytes/1e6, n),

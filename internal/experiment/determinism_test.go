@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestExperimentsDeterministic is the regression gate for the paper's
+// reproducibility claim and for the parallel trial runner: every
+// registered experiment, run at Quick scale,
+//
+//  1. renders byte-identical tables on two sequential runs (same seeds →
+//     same bytes), and
+//  2. renders the same bytes when its trials are fanned out across a
+//     worker pool as when they run one at a time.
+//
+// Comparison uses Table.Fingerprint, which masks columns explicitly
+// marked volatile (wall-clock timings) and nothing else.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			run, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("experiment %q missing from registry", id)
+			}
+			render := func(cfg Config) string {
+				tab, err := run(cfg)
+				if err != nil {
+					t.Fatalf("%s at %+v: %v", id, cfg, err)
+				}
+				return tab.Fingerprint()
+			}
+			seq1 := render(Sequential(Quick))
+			seq2 := render(Sequential(Quick))
+			if seq1 != seq2 {
+				t.Fatalf("%s is not repeatable across sequential runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", id, seq1, seq2)
+			}
+			par := render(Config{Scale: Quick, Parallel: 4})
+			if par != seq1 {
+				t.Fatalf("%s diverges under the parallel runner:\n--- sequential ---\n%s\n--- parallel(4) ---\n%s", id, seq1, par)
+			}
+		})
+	}
+}

@@ -24,9 +24,9 @@ import (
 // Control pricing the slow link and shifting load to the healthy cut
 // links. The adaptive fabric must recover most of the gap between (b) and
 // (a).
-func E3(scale Scale) (*Table, error) {
-	side := scale.pick(4, 6)
-	bytesPerPair := int64(scale.pick(32e3, 128e3))
+func E3(cfg Config) (*Table, error) {
+	side := cfg.Scale.pick(4, 6)
+	bytesPerPair := int64(cfg.Scale.pick(32e3, 128e3))
 	n := side * side
 
 	run := func(degrade, adaptive bool) (sim.Duration, error) {
@@ -89,18 +89,15 @@ func E3(scale Scale) (*Table, error) {
 		return fabric.JobCompletionTime(flows)
 	}
 
-	healthy, err := run(false, false)
+	res, err := Sweep(cfg, []Trial[sim.Duration]{
+		{Name: "healthy", Run: func() (sim.Duration, error) { return run(false, false) }},
+		{Name: "degraded-static", Run: func() (sim.Duration, error) { return run(true, false) }},
+		{Name: "degraded-adaptive", Run: func() (sim.Duration, error) { return run(true, true) }},
+	})
 	if err != nil {
 		return nil, err
 	}
-	static, err := run(true, false)
-	if err != nil {
-		return nil, err
-	}
-	adaptive, err := run(true, true)
-	if err != nil {
-		return nil, err
-	}
+	healthy, static, adaptive := res[0], res[1], res[2]
 
 	t := &Table{
 		Title:   fmt.Sprintf("E3 — MapReduce shuffle JCT, %d nodes (left→right bisection shuffle), %d B per pair", n, bytesPerPair),

@@ -16,9 +16,9 @@ import (
 // the CRC power policy (PLP #3 lane shedding) enforcing it. The capped run
 // must converge under the budget; the latency column shows what the
 // headroom costs.
-func E4(scale Scale) (*Table, error) {
-	side := scale.pick(4, 6)
-	flowsPerLoad := scale.pick(60, 300)
+func E4(cfg Config) (*Table, error) {
+	side := cfg.Scale.pick(4, 6)
+	flowsPerLoad := cfg.Scale.pick(60, 300)
 	n := side * side
 
 	type result struct {
@@ -69,7 +69,9 @@ func E4(scale Scale) (*Table, error) {
 		}, nil
 	}
 
-	// Establish the natural draw, then cap at 94% of it.
+	// Establish the natural draw, then cap at 94% of it. The cap depends
+	// on the uncapped result, so E4 is a two-stage chain with nothing to
+	// fan out — plain calls, no Sweep.
 	free, err := run(0, flowsPerLoad)
 	if err != nil {
 		return nil, err

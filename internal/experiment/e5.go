@@ -21,9 +21,9 @@ import (
 // the channel exists). Small probes finish before the express pays off;
 // large probes win big. The crossover should sit near the analytic
 // σ* = C·r_b·r_a/(8(r_a−r_b)).
-func E5(scale Scale) (*Table, error) {
+func E5(cfg Config) (*Table, error) {
 	sizes := []int64{16e3, 64e3, 256e3, 1e6, 4e6}
-	if scale == Full {
+	if cfg.Scale == Full {
 		sizes = []int64{16e3, 32e3, 64e3, 128e3, 256e3, 512e3, 1e6, 2e6, 4e6, 16e6}
 	}
 
@@ -76,6 +76,23 @@ func E5(scale Scale) (*Table, error) {
 		return probeFlow.FCT(), nil
 	}
 
+	trials := make([]Trial[sim.Duration], 0, 2*len(sizes))
+	for _, size := range sizes {
+		trials = append(trials,
+			Trial[sim.Duration]{
+				Name: fmt.Sprintf("switched/%dB", size),
+				Run:  func() (sim.Duration, error) { return run(size, false) },
+			},
+			Trial[sim.Duration]{
+				Name: fmt.Sprintf("express/%dB", size),
+				Run:  func() (sim.Duration, error) { return run(size, true) },
+			})
+	}
+	res, err := Sweep(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		Title:   "E5 — minimum flow size for which reconfiguration pays (σ*)",
 		Columns: []string{"probe size (B)", "switched FCT (us)", "express FCT (us)", "winner"},
@@ -83,15 +100,8 @@ func E5(scale Scale) (*Table, error) {
 	var crossover int64 = -1
 	var largest int64
 	var largestDirect, largestExpr sim.Duration
-	for _, size := range sizes {
-		direct, err := run(size, false)
-		if err != nil {
-			return nil, err
-		}
-		expr, err := run(size, true)
-		if err != nil {
-			return nil, err
-		}
+	for i, size := range sizes {
+		direct, expr := res[2*i], res[2*i+1]
 		winner := "switched"
 		if expr < direct {
 			winner = "express"

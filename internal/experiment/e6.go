@@ -18,10 +18,10 @@ import (
 // latency), and the CRC's adaptive controller (escalates only when the
 // measured BER demands it). Adaptive should track the better of the two
 // fixed points at every BER.
-func E6(scale Scale) (*Table, error) {
-	flowBytes := int64(scale.pick(1e6, 4e6))
+func E6(cfg Config) (*Table, error) {
+	flowBytes := int64(cfg.Scale.pick(1e6, 4e6))
 	bers := []float64{1e-12, 1e-8, 1e-6, 1e-5}
-	if scale == Full {
+	if cfg.Scale == Full {
 		bers = []float64{1e-12, 1e-10, 1e-8, 1e-7, 1e-6, 3e-6, 1e-5}
 	}
 
@@ -79,23 +79,27 @@ func E6(scale Scale) (*Table, error) {
 		return &outcome{fct: flows[0].FCT(), retx: flows[0].Retransmits(), profile: prof}, nil
 	}
 
+	modes := []string{"none", "rs-fixed", "adaptive"}
+	trials := make([]Trial[*outcome], 0, len(bers)*len(modes))
+	for _, ber := range bers {
+		for _, mode := range modes {
+			trials = append(trials, Trial[*outcome]{
+				Name: fmt.Sprintf("%s/ber=%.0e", mode, ber),
+				Run:  func() (*outcome, error) { return run(ber, mode) },
+			})
+		}
+	}
+	res, err := Sweep(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		Title:   fmt.Sprintf("E6 — adaptive FEC (PLP #4): %d B flow across one noisy link", flowBytes),
 		Columns: []string{"BER", "none FCT(us)/retx", "rs(255,223) FCT(us)/retx", "adaptive FCT(us)/retx", "adaptive profile"},
 	}
-	for _, ber := range bers {
-		none, err := run(ber, "none")
-		if err != nil {
-			return nil, err
-		}
-		rs, err := run(ber, "rs-fixed")
-		if err != nil {
-			return nil, err
-		}
-		ad, err := run(ber, "adaptive")
-		if err != nil {
-			return nil, err
-		}
+	for i, ber := range bers {
+		none, rs, ad := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(
 			fmt.Sprintf("%.0e", ber),
 			fmt.Sprintf("%s/%d", us(none.fct), none.retx),

@@ -17,9 +17,9 @@ import (
 // choice: a code sized for the average BER drowns during bursts, a code
 // sized for bursts taxes every clean hour. Runtime adaptation (PLP #4) is
 // the paper's answer; this table quantifies it.
-func E9(scale Scale) (*Table, error) {
-	flowBytes := int64(scale.pick(2e6, 8e6))
-	streamFlows := scale.pick(8, 24)
+func E9(cfg Config) (*Table, error) {
+	flowBytes := int64(cfg.Scale.pick(2e6, 8e6))
+	streamFlows := cfg.Scale.pick(8, 24)
 
 	type outcome struct {
 		totalFCT sim.Duration
@@ -95,15 +95,25 @@ func E9(scale Scale) (*Table, error) {
 		return out, nil
 	}
 
+	modes := []string{"none", "rs-fixed", "adaptive", "adaptive-sticky"}
+	trials := make([]Trial[*outcome], 0, len(modes))
+	for _, mode := range modes {
+		trials = append(trials, Trial[*outcome]{
+			Name: mode,
+			Run:  func() (*outcome, error) { return run(mode) },
+		})
+	}
+	res, err := Sweep(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+
 	t := &Table{
 		Title:   fmt.Sprintf("E9 — adaptive FEC on a bursty (Gilbert–Elliott) link: %d × %d B stream", streamFlows, flowBytes),
 		Columns: []string{"FEC regime", "total transfer time (ms)", "retransmits", "FEC switches"},
 	}
-	for _, mode := range []string{"none", "rs-fixed", "adaptive", "adaptive-sticky"} {
-		o, err := run(mode)
-		if err != nil {
-			return nil, err
-		}
+	for i, mode := range modes {
+		o := res[i]
 		t.AddRow(mode, ms(o.totalFCT), fmt.Sprintf("%d", o.retx), fmt.Sprintf("%d", o.switches))
 	}
 	t.AddNote("channel: BER 1e-12 floor with 3e-5 bursts, 10%% bad dwell (200 µs bursts every ~2 ms)")

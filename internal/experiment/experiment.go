@@ -30,6 +30,32 @@ func (s Scale) pick(q, f int) int {
 	return f
 }
 
+// Config carries the cross-cutting run options into every experiment.
+type Config struct {
+	// Scale sizes the experiment (Quick or Full).
+	Scale Scale
+	// Parallel bounds how many independent trials run concurrently.
+	// Zero or negative means one worker per CPU; 1 forces the plain
+	// sequential loop. Results are byte-identical at any setting —
+	// every trial owns its own engine, fabric, and RNG streams.
+	Parallel int
+}
+
+// Workers resolves Parallel to an effective worker count.
+func (c Config) Workers() int {
+	if c.Parallel <= 0 {
+		return defaultWorkers()
+	}
+	return c.Parallel
+}
+
+// At returns a Config for s with default parallelism — the ergonomic
+// spelling for tests and benchmarks: Fig1(experiment.At(Quick)).
+func At(s Scale) Config { return Config{Scale: s} }
+
+// Sequential returns a Config for s that runs trials one at a time.
+func Sequential(s Scale) Config { return Config{Scale: s, Parallel: 1} }
+
 // buildFabric wires a fabric over g with optional config mutation.
 func buildFabric(g *topo.Graph, seed int64, mutate ...func(*fabric.Config)) (*sim.Engine, *fabric.Fabric, error) {
 	eng := sim.New()

@@ -69,7 +69,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	tab, err := Fig1(Quick)
+	tab, err := Fig1(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
-	tab, err := Fig2(Quick)
+	tab, err := Fig2(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestE3Shape(t *testing.T) {
-	tab, err := E3(Quick)
+	tab, err := E3(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestE3Shape(t *testing.T) {
 }
 
 func TestE4Shape(t *testing.T) {
-	tab, err := E4(Quick)
+	tab, err := E4(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestE4Shape(t *testing.T) {
 }
 
 func TestE5Shape(t *testing.T) {
-	tab, err := E5(Quick)
+	tab, err := E5(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestE5Shape(t *testing.T) {
 }
 
 func TestE6Shape(t *testing.T) {
-	tab, err := E6(Quick)
+	tab, err := E6(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestE6Shape(t *testing.T) {
 }
 
 func TestE9Shape(t *testing.T) {
-	tab, err := E9(Quick)
+	tab, err := E9(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestE9Shape(t *testing.T) {
 }
 
 func TestE7Shape(t *testing.T) {
-	tab, err := E7(Quick)
+	tab, err := E7(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestE7Shape(t *testing.T) {
 }
 
 func TestE8Shape(t *testing.T) {
-	tab, err := E8(Quick)
+	tab, err := E8(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestE8Shape(t *testing.T) {
 }
 
 func TestA1Runs(t *testing.T) {
-	tab, err := A1(Quick)
+	tab, err := A1(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestA1Runs(t *testing.T) {
 }
 
 func TestA3Shape(t *testing.T) {
-	tab, err := A3(Quick)
+	tab, err := A3(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +329,7 @@ func TestA3Shape(t *testing.T) {
 }
 
 func TestA2Shape(t *testing.T) {
-	tab, err := A2(Quick)
+	tab, err := A2(At(Quick))
 	if err != nil {
 		t.Fatal(err)
 	}

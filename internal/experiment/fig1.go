@@ -20,14 +20,26 @@ import (
 // the measured model. The paper's conclusion — "in the scale of a rack,
 // the latency due to packet switching is dominant" — should show as a
 // ratio far above 1 at every row.
-func Fig1(scale Scale) (*Table, error) {
-	maxHops := scale.pick(8, 20)
+func Fig1(cfg Config) (*Table, error) {
+	maxHops := cfg.Scale.pick(8, 20)
 	const (
 		spacingM = 2.0
 		pipeline = 450 * sim.Nanosecond
 	)
 	media := phy.ProfileOf(phy.OpticalFiber)
 	perHopMedia := media.Propagation(spacingM)
+
+	trials := make([]Trial[sim.Duration], 0, maxHops)
+	for hops := 1; hops <= maxHops; hops++ {
+		trials = append(trials, Trial[sim.Duration]{
+			Name: fmt.Sprintf("hops=%d", hops),
+			Run:  func() (sim.Duration, error) { return fig1Measure(hops, spacingM, pipeline) },
+		})
+	}
+	measured, err := Sweep(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		Title:   "Figure 1 — media propagation vs cut-through switching latency (switch every 2 m)",
@@ -36,16 +48,12 @@ func Fig1(scale Scale) (*Table, error) {
 	for hops := 1; hops <= maxHops; hops++ {
 		mediaTotal := sim.Duration(int64(hops) * int64(perHopMedia))
 		switchTotal := sim.Duration(int64(hops) * int64(pipeline))
-		measured, err := fig1Measure(hops, spacingM, pipeline)
-		if err != nil {
-			return nil, err
-		}
 		t.AddRow(
 			fmt.Sprintf("%d", hops),
 			fmt.Sprintf("%.0f", float64(hops)*spacingM),
 			ns(mediaTotal),
 			ns(switchTotal),
-			ns(measured),
+			ns(measured[hops-1]),
 			fmt.Sprintf("%.0fx", float64(switchTotal)/float64(mediaTotal)),
 		)
 	}

@@ -20,9 +20,9 @@ import (
 // mean hop count, latency, flow completion and aggregate power — the
 // reconfiguration must cut hops and latency without exceeding the grid's
 // power envelope.
-func Fig2(scale Scale) (*Table, error) {
-	side := scale.pick(4, 8)
-	flows := scale.pick(60, 400)
+func Fig2(cfg Config) (*Table, error) {
+	side := cfg.Scale.pick(4, 8)
+	flows := cfg.Scale.pick(60, 400)
 
 	type phase struct {
 		meanHops   float64
@@ -93,14 +93,14 @@ func Fig2(scale Scale) (*Table, error) {
 		}, nil
 	}
 
-	grid, err := run(false)
+	res, err := Sweep(cfg, []Trial[*phase]{
+		{Name: "grid", Run: func() (*phase, error) { return run(false) }},
+		{Name: "torus", Run: func() (*phase, error) { return run(true) }},
+	})
 	if err != nil {
 		return nil, err
 	}
-	torus, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	grid, torus := res[0], res[1]
 
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 2 — grid (2 lanes/link) vs CRC-reconfigured torus (1 lane/link), %dx%d rack", side, side),

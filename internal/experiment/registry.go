@@ -6,7 +6,7 @@ import (
 )
 
 // Runner is one experiment entry point.
-type Runner func(Scale) (*Table, error)
+type Runner func(Config) (*Table, error)
 
 // registry maps experiment IDs (DESIGN.md per-experiment index) to
 // runners.

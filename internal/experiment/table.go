@@ -12,6 +12,53 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Volatile names columns whose cells are legitimately different
+	// between identical runs (wall-clock timings and the like). They
+	// render normally but are masked out of Fingerprint, so determinism
+	// checks compare only reproducible content.
+	Volatile []string
+}
+
+// MarkVolatile flags a column as non-reproducible (e.g. wall time).
+// Unknown names panic so a renamed column cannot silently weaken the
+// determinism check.
+func (t *Table) MarkVolatile(col string) {
+	for _, c := range t.Columns {
+		if c == col {
+			t.Volatile = append(t.Volatile, col)
+			return
+		}
+	}
+	panic(fmt.Sprintf("experiment: MarkVolatile(%q): no such column in table %q", col, t.Title))
+}
+
+// Fingerprint renders the table with volatile columns masked — the byte
+// string two runs of the same experiment at the same seed must agree on.
+func (t *Table) Fingerprint() string {
+	masked := &Table{Title: t.Title, Columns: t.Columns, Notes: t.Notes}
+	volatile := make(map[int]bool)
+	for i, c := range t.Columns {
+		for _, v := range t.Volatile {
+			if c == v {
+				volatile[i] = true
+			}
+		}
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, cell := range row {
+			if volatile[i] {
+				cell = "·"
+			}
+			cells[i] = cell
+		}
+		masked.Rows = append(masked.Rows, cells)
+	}
+	var sb strings.Builder
+	if err := masked.Render(&sb); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return sb.String()
 }
 
 // AddRow appends a row; it panics on column-count mismatch so experiments

@@ -16,6 +16,27 @@ type plpJob struct {
 	done func(plp.Result)
 }
 
+// plpLabels precomputes the event labels for each primitive so pumping the
+// control channel never concatenates strings per command.
+var plpLabels = func() map[plp.Kind]string {
+	m := make(map[plp.Kind]string)
+	for _, k := range []plp.Kind{
+		plp.Break, plp.Bundle, plp.BypassOn, plp.BypassOff,
+		plp.LaneOn, plp.LaneOff, plp.SetFEC, plp.QueryStats,
+	} {
+		m[k] = "plp-" + k.String()
+	}
+	return m
+}()
+
+// plpLabel resolves a command kind to its precomputed event label.
+func plpLabel(k plp.Kind) string {
+	if l, ok := plpLabels[k]; ok {
+		return l
+	}
+	return "plp-" + k.String()
+}
+
 // Execute implements plp.Executor: commands are validated immediately,
 // then applied sequentially through the fabric's control channel, each
 // taking its media-dependent execution latency. Sequential execution is
@@ -66,7 +87,7 @@ func (f *Fabric) pumpPLP() {
 
 	prof := f.commandProfile(job.cmd)
 	latency, downtime := plp.Cost(prof, job.cmd.Kind)
-	f.eng.After(latency, "plp-"+job.cmd.Kind.String(), func() {
+	f.eng.After(latency, plpLabel(job.cmd.Kind), func() {
 		powerBefore := f.budget.CurrentW()
 		err := f.apply(job.cmd)
 		f.samplePower()

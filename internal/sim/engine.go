@@ -17,6 +17,7 @@ type Engine struct {
 	stopped  bool
 	limit    Time
 	maxEvent uint64 // safety valve against runaway models; 0 = unlimited
+	free     *event // recycled event storage, linked through event.next
 }
 
 // ErrStopped is returned by Run when the model called Stop before the event
@@ -25,7 +26,42 @@ var ErrStopped = errors.New("sim: stopped by model")
 
 // New returns an engine with the clock at zero and an empty event list.
 func New() *Engine {
-	return &Engine{limit: Forever}
+	return NewSized(256)
+}
+
+// NewSized returns an engine whose event list is pre-sized for roughly
+// hint simultaneous pending events, avoiding heap-growth copies during
+// the warm-up of large models.
+func NewSized(hint int) *Engine {
+	if hint < 0 {
+		hint = 0
+	}
+	e := &Engine{limit: Forever}
+	e.queue.items = make([]*event, 0, hint)
+	return e
+}
+
+// alloc takes event storage off the free list, or allocates fresh. The
+// generation bump on reuse is what invalidates handles to the storage's
+// previous life, keeping late Cancel calls harmless.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		return &event{}
+	}
+	e.free = ev.next
+	ev.next = nil
+	ev.canceled = false
+	ev.gen++
+	return ev
+}
+
+// recycle returns a fired or cancelled event to the free list. The
+// callback is dropped immediately so its captures become collectable.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.next = e.free
+	e.free = ev
 }
 
 // Now returns the current simulation time.
@@ -43,39 +79,47 @@ func (e *Engine) SetEventLimit(n uint64) { e.maxEvent = n }
 
 // At schedules fn to run at instant t. Scheduling in the past panics: it is
 // always a model bug, and silently reordering time would invalidate results.
-// The label is kept for diagnostics and error reports.
-func (e *Engine) At(t Time, label string, fn func()) *Event {
+// The label is kept for diagnostics and error reports; pass a constant
+// string — formatting a label per event puts an allocation on the hottest
+// path in the simulator.
+//
+// The returned handle stays safe to Cancel forever: once the event fires
+// or is cancelled the engine recycles its storage, and the handle's
+// generation stamp turns any later Cancel into a no-op.
+func (e *Engine) At(t Time, label string, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v which is before now %v", label, t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, label: label}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn, ev.label = t, e.seq, fn, label
 	e.seq++
 	e.queue.push(ev)
-	return ev
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current instant. Negative d panics.
-func (e *Engine) After(d Duration, label string, fn func()) *Event {
+func (e *Engine) After(d Duration, label string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling %q with negative delay %v", label, d))
 	}
 	return e.At(e.now.Add(d), label, fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired or
-// was already cancelled is a no-op, so holders need not track liveness.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// Cancel removes a pending event and recycles its storage. Cancelling an
+// event that already fired or was already cancelled is a no-op — the
+// handle's generation stamp detects recycled storage — so holders need
+// not track liveness.
+func (e *Engine) Cancel(h Event) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.canceled || ev.index < 0 {
 		return
 	}
 	ev.canceled = true
 	e.queue.remove(ev.index)
+	e.recycle(ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -84,17 +128,21 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single next event, advancing the clock to it. It returns
 // false when the event list is empty.
 func (e *Engine) Step() bool {
-	for e.queue.len() > 0 {
-		ev := e.queue.pop()
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-		return true
+	// Cancel removes events from the heap eagerly, so whatever pop returns
+	// is live — no cancelled-event skip loop (which would double-recycle).
+	if e.queue.len() == 0 {
+		return false
 	}
-	return false
+	ev := e.queue.pop()
+	e.now = ev.at
+	e.executed++
+	fn := ev.fn
+	// Recycle before running: the callback sees a consistent "my event
+	// is spent" world and may immediately reuse the storage for what it
+	// schedules next.
+	e.recycle(ev)
+	fn()
+	return true
 }
 
 // Run executes events until the list drains, the optional time limit passes,
@@ -118,6 +166,9 @@ func (e *Engine) RunUntil(limit Time) error {
 			e.now = limit
 			return nil
 		}
+		// Step recycles the event it executes, so remember the label now in
+		// case the safety-cap error below needs it.
+		label := next.label
 		if !e.Step() {
 			break
 		}
@@ -125,7 +176,7 @@ func (e *Engine) RunUntil(limit Time) error {
 			return ErrStopped
 		}
 		if e.maxEvent != 0 && e.executed >= e.maxEvent {
-			return fmt.Errorf("sim: event limit %d reached at %v (last %q)", e.maxEvent, e.now, next.label)
+			return fmt.Errorf("sim: event limit %d reached at %v (last %q)", e.maxEvent, e.now, label)
 		}
 	}
 	if limit != Forever && limit > e.now {

@@ -114,7 +114,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []string
-	evs := make([]*Event, 0, 10)
+	evs := make([]Event, 0, 10)
 	for i := 0; i < 10; i++ {
 		name := string(rune('a' + i))
 		d := Duration(i+1) * Nanosecond
@@ -246,7 +246,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		}
 		e := New()
 		type rec struct {
-			ev   *Event
+			ev   Event
 			at   Time
 			kill bool
 		}

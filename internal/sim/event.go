@@ -1,30 +1,61 @@
 package sim
 
-// Event is a scheduled callback in the future event list. Events are created
-// through Engine.At or Engine.After and may be cancelled until they fire.
-type Event struct {
+// event is the pooled storage behind one scheduled callback. Once an
+// event fires or is cancelled the engine recycles this struct through a
+// free list; the generation counter lets stale handles detect reuse.
+type event struct {
 	at       Time
 	seq      uint64 // tie-break: schedule order within one instant
 	fn       func()
 	index    int // heap index, -1 once popped or cancelled
 	canceled bool
 	label    string
+	gen      uint64 // bumped on every reuse of this storage
+	next     *event // free-list link while recycled
 }
 
-// At returns the instant the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Event is a cancellation handle for a scheduled callback: the pooled
+// storage plus the generation it was issued for. Handles are small
+// values; keep them as long as convenient. A handle whose storage has
+// been recycled for a later event is "stale" — Cancel on it is a
+// guaranteed no-op and its accessors return zero values, so holders
+// never need to track liveness. The zero Event is a valid stale handle.
+type Event struct {
+	ev  *event
+	gen uint64
+}
 
-// Label returns the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
+// live reports whether the handle still addresses its own event (which
+// may be pending, fired, or cancelled — but not yet reused).
+func (h Event) live() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// At returns the instant the event is scheduled for, or zero if the
+// handle is stale.
+func (h Event) At() Time {
+	if !h.live() {
+		return 0
+	}
+	return h.ev.at
+}
+
+// Label returns the diagnostic label given at scheduling time, or ""
+// if the handle is stale.
+func (h Event) Label() string {
+	if !h.live() {
+		return ""
+	}
+	return h.ev.label
+}
 
 // Canceled reports whether the event was cancelled before firing.
-func (e *Event) Canceled() bool { return e.canceled }
+// Stale handles report false.
+func (h Event) Canceled() bool { return h.live() && h.ev.canceled }
 
 // eventQueue is a binary min-heap ordered by (at, seq). It implements the
 // subset of container/heap we need directly to avoid interface conversions on
 // the hottest path in the simulator.
 type eventQueue struct {
-	items []*Event
+	items []*event
 }
 
 func (q *eventQueue) len() int { return len(q.items) }
@@ -43,13 +74,13 @@ func (q *eventQueue) swap(i, j int) {
 	q.items[j].index = j
 }
 
-func (q *eventQueue) push(e *Event) {
+func (q *eventQueue) push(e *event) {
 	e.index = len(q.items)
 	q.items = append(q.items, e)
 	q.up(e.index)
 }
 
-func (q *eventQueue) pop() *Event {
+func (q *eventQueue) pop() *event {
 	n := len(q.items)
 	q.swap(0, n-1)
 	e := q.items[n-1]
