@@ -119,6 +119,22 @@ func BenchmarkFluidEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkFluidEngine1024 is one full-scale E8 trial in isolation: the
+// 32×32 grid under a simultaneous random permutation — the slowest single
+// trial of the evaluation ladder and the workload the incremental solver
+// exists for.
+func BenchmarkFluidEngine1024(b *testing.B) {
+	g := topo.NewGrid(32, 32, topo.Options{})
+	rng := sim.NewRNG(32)
+	specs := workload.Permutation(rng, 1024, workload.Fixed(1e6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fluid.Run(fluid.Config{Graph: g}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRouteRebuild measures a full price-driven routing rebuild on a
 // 256-node torus — the CRC pays this every epoch.
 func BenchmarkRouteRebuild(b *testing.B) {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,6 +10,11 @@ import (
 	"rackfab/internal/topo"
 	"rackfab/internal/workload"
 )
+
+// ErrNoCompletedFlows reports a fluid/packet cross-check whose run finished
+// with zero completed flows — a mean FCT over such a run is 0/0, and the
+// NaN it used to produce would silently poison the table note.
+var ErrNoCompletedFlows = errors.New("experiment: cross-check completed no flows")
 
 // E8 is the scale experiment: "rack-scale systems contain hundreds to
 // thousands of connected nodes". The fluid engine sweeps grid and torus
@@ -83,7 +89,12 @@ func E8(cfg Config) (*Table, error) {
 	}
 	// Cross-check: fluid vs packet on a small fabric with light load (the
 	// regime where the fluid approximation should be tight).
-	delta, err := crossCheck()
+	rng := sim.NewRNG(99)
+	delta, err := crossCheck(workload.Uniform(rng, workload.UniformConfig{
+		Nodes: 16, Flows: 12,
+		Size:             workload.Fixed(1e6),
+		MeanInterarrival: 400 * sim.Microsecond, // light: no sharing
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -95,19 +106,17 @@ func E8(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-// crossCheck runs the identical light workload on both engines and
-// returns the mean-FCT percentage difference.
-func crossCheck() (float64, error) {
-	rng := sim.NewRNG(99)
-	specs := workload.Uniform(rng, workload.UniformConfig{
-		Nodes: 16, Flows: 12,
-		Size:             workload.Fixed(1e6),
-		MeanInterarrival: 400 * sim.Microsecond, // light: no sharing
-	})
+// crossCheck runs the identical workload on both engines (a 4×4 grid) and
+// returns the mean-FCT percentage difference. A run that completes no flows
+// on either engine yields ErrNoCompletedFlows rather than a NaN delta.
+func crossCheck(specs []workload.FlowSpec) (float64, error) {
 	g1 := topo.NewGrid(4, 4, topo.Options{})
 	fl, err := fluid.Run(fluid.Config{Graph: g1}, specs)
 	if err != nil {
 		return 0, err
+	}
+	if len(fl.Flows) == 0 {
+		return 0, fmt.Errorf("fluid engine: %w", ErrNoCompletedFlows)
 	}
 	g2 := topo.NewGrid(4, 4, topo.Options{})
 	_, f, err := buildFabric(g2, 99)
@@ -122,10 +131,23 @@ func crossCheck() (float64, error) {
 		return 0, err
 	}
 	var sum float64
+	completed := 0
 	for _, flw := range flows {
+		if !flw.Done() {
+			continue
+		}
 		sum += float64(flw.FCT())
+		completed++
 	}
-	packetMean := sum / float64(len(flows))
+	if completed == 0 {
+		return 0, fmt.Errorf("packet engine: %w", ErrNoCompletedFlows)
+	}
+	// A partial packet run would bias the delta toward whatever happened to
+	// finish — the comparison is only meaningful over the full workload.
+	if completed < len(flows) {
+		return 0, fmt.Errorf("experiment: cross-check packet engine completed %d of %d flows", completed, len(flows))
+	}
+	packetMean := sum / float64(completed)
 	fluidMean := float64(fl.MeanFCT)
 	d := (fluidMean - packetMean) / packetMean * 100
 	if d < 0 {

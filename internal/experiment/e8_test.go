@@ -1,0 +1,19 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCrossCheckNoFlows pins the zero-completed-flows guard: a cross-check
+// over an empty workload must surface ErrNoCompletedFlows instead of
+// dividing by zero and folding NaN into the E8 table note.
+func TestCrossCheckNoFlows(t *testing.T) {
+	_, err := crossCheck(nil)
+	if err == nil {
+		t.Fatal("cross-check over zero flows returned no error")
+	}
+	if !errors.Is(err, ErrNoCompletedFlows) {
+		t.Fatalf("err = %v, want ErrNoCompletedFlows", err)
+	}
+}

@@ -1,0 +1,93 @@
+package fluid
+
+import (
+	"fmt"
+	"testing"
+
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// fingerprint renders every byte of a Result that could expose
+// nondeterminism: the full flow list in completion order plus aggregates.
+func fingerprint(r *Result) string { return fmt.Sprintf("%+v", *r) }
+
+// TestTiedCompletionOrderDeterministic is the regression test for the old
+// `for f := range active` nextDone scan: two flows that are identical except
+// for their label finish at the same instant, and map iteration used to
+// order Result.Flows arbitrarily between runs. The heap's (time, flowID)
+// tie-break must order them canonically, every run.
+func TestTiedCompletionOrderDeterministic(t *testing.T) {
+	g := topo.NewLine(2, topo.Options{})
+	specs := []workload.FlowSpec{
+		{Src: 0, Dst: 1, Bytes: 10e6, Label: "tie-b"},
+		{Src: 0, Dst: 1, Bytes: 10e6, Label: "tie-a"},
+	}
+	var want string
+	for i := 0; i < 20; i++ {
+		res, err := Run(Config{Graph: g}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Flows) != 2 || res.Flows[0].FCT != res.Flows[1].FCT {
+			t.Fatalf("run %d: want two flows tied on FCT, got %+v", i, res.Flows)
+		}
+		// Canonical spec order sorts "tie-a" before "tie-b".
+		if res.Flows[0].Spec.Label != "tie-a" {
+			t.Fatalf("run %d: tied completions out of canonical order: %q first", i, res.Flows[0].Spec.Label)
+		}
+		got := fingerprint(res)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("run %d diverged:\n--- first ---\n%s\n--- now ---\n%s", i, want, got)
+		}
+	}
+}
+
+// TestShuffledInputFingerprint checks run-order independence: the same spec
+// multiset, handed to Run in any order, must produce a byte-identical
+// Result. The permutation workload (every arrival at t=0, identical sizes,
+// uniform capacities) maximizes both completion-time and bottleneck-share
+// ties, and the uniform workload adds staggered arrivals on top.
+func TestShuffledInputFingerprint(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []workload.FlowSpec
+	}{
+		{"permutation", workload.Permutation(sim.NewRNG(7), 36, workload.Fixed(1e6))},
+		{"uniform", workload.Uniform(sim.NewRNG(8), workload.UniformConfig{
+			Nodes: 36, Flows: 60,
+			Size:             workload.Fixed(500e3),
+			MeanInterarrival: 5 * sim.Microsecond,
+		})},
+	}
+	for _, tc := range cases {
+		name, specs := tc.name, tc.specs
+		t.Run(name, func(t *testing.T) {
+			// Per-case RNG so every run — and every -run filter — replays
+			// the exact same shuffles.
+			rng := sim.NewRNG(int64(len(name)))
+			g := topo.NewTorus(6, 6, topo.Options{})
+			base, err := Run(Config{Graph: g}, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fingerprint(base)
+			shuffled := append([]workload.FlowSpec(nil), specs...)
+			for trial := 0; trial < 4; trial++ {
+				rng.Shuffle(len(shuffled), func(i, j int) {
+					shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+				})
+				res, err := Run(Config{Graph: g}, shuffled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprint(res); got != want {
+					t.Fatalf("shuffle %d changed the result:\n--- canonical ---\n%s\n--- shuffled ---\n%s", trial, want, got)
+				}
+			}
+		})
+	}
+}

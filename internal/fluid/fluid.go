@@ -8,14 +8,24 @@
 // exactly like the paper's own methodology — the large-scale sweep runs on
 // this coarser engine after cross-validating it against the packet engine
 // on small fabrics (experiment E8).
+//
+// The solver is incremental and deterministic. Flows and links live in flat
+// slices keyed by stable integer IDs (flow IDs follow a canonical spec
+// ordering; link IDs are topo Edge.Index), so no result ever depends on Go
+// map iteration order or on the order specs were handed in. On each arrival
+// or completion only the connected component of the link–flow sharing graph
+// around the affected flow's path is re-solved — max-min allocations
+// decompose over such components — and the progressive-filling pass inside a
+// component retires every link tied at the round's bottleneck share in one
+// flat scan of the component's live links (see refill). Completions pop from
+// a heap keyed by (finish time, flowID), so simultaneous finishes resolve in
+// flow-ID order, byte-stably, at O(log F) per event.
 package fluid
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
-	"rackfab/internal/route"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
 	"rackfab/internal/workload"
@@ -23,7 +33,9 @@ import (
 
 // Config parameterizes a fluid run.
 type Config struct {
-	// Graph is the topology; link capacities come from EffectiveRate.
+	// Graph is the topology; link capacities come from EffectiveRate,
+	// snapshotted once at the start of the run (a fluid run never
+	// reconfigures the fabric mid-flight).
 	Graph *topo.Graph
 	// PerHopLatency is added to each flow's completion time per path hop
 	// (the switch traversal the packet engine simulates in full).
@@ -40,10 +52,14 @@ type FlowResult struct {
 	Hops  int
 }
 
-// Result summarizes a fluid run.
+// Result summarizes a fluid run. Flows is in completion order, ties broken
+// by canonical spec order, so two runs over the same spec multiset — in any
+// input order — produce identical Results.
 type Result struct {
 	Flows []FlowResult
-	// MeanFCT and P99FCT summarize completion times.
+	// MeanFCT and P99FCT summarize completion times. P99FCT uses the
+	// nearest-rank convention (the ceil(0.99·n)-th smallest sample),
+	// matching telemetry.Histogram.Quantile.
 	MeanFCT, P99FCT sim.Duration
 	// JCT is the barrier completion time across all flows.
 	JCT sim.Duration
@@ -51,13 +67,28 @@ type Result struct {
 	Events int
 }
 
-// flowState is one in-flight fluid flow.
-type flowState struct {
-	spec      workload.FlowSpec
-	path      []*topo.Edge
-	remaining float64 // bits
-	rate      float64 // bit/s, set by the max-min allocation
-	start     sim.Time
+// canonicalize returns the specs sorted by (At, Src, Dst, Bytes, Label).
+// Flow IDs are indexes into this order, which makes every tie-break — and
+// therefore the whole run — independent of the caller's spec ordering.
+func canonicalize(specs []workload.FlowSpec) []workload.FlowSpec {
+	sorted := append([]workload.FlowSpec(nil), specs...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes < b.Bytes
+		}
+		return a.Label < b.Label
+	})
+	return sorted
 }
 
 // Run executes the fluid simulation over the given specs.
@@ -74,32 +105,21 @@ func Run(cfg Config, specs []workload.FlowSpec) (*Result, error) {
 	if cfg.Limit == 0 {
 		cfg.Limit = sim.Forever
 	}
-	table := route.Build(cfg.Graph, route.UniformCost)
 
-	// Arrival queue sorted by time.
-	pending := append([]workload.FlowSpec(nil), specs...)
-	sort.SliceStable(pending, func(i, j int) bool { return pending[i].At < pending[j].At })
+	en := newEngine(cfg.Graph, cfg.PerHopLatency)
+	if err := en.addFlows(canonicalize(specs)); err != nil {
+		return nil, fmt.Errorf("fluid: routing: %w", err)
+	}
 
-	active := make(map[*flowState]struct{})
-	res := &Result{}
+	res := &Result{Flows: make([]FlowResult, 0, len(en.flows))}
 	now := sim.Time(0)
+	arrived := 0
 
-	for len(pending) > 0 || len(active) > 0 {
-		// Next completion under current rates.
-		nextDone := sim.Forever
-		var doneFlow *flowState
-		for f := range active {
-			if f.rate <= 0 {
-				continue
-			}
-			t := now.Add(sim.Seconds(f.remaining / f.rate))
-			if t < nextDone {
-				nextDone, doneFlow = t, f
-			}
-		}
+	for arrived < len(en.flows) || en.activeCount > 0 {
+		nextDone, doneID := en.nextDone()
 		nextArrival := sim.Forever
-		if len(pending) > 0 {
-			nextArrival = pending[0].At
+		if arrived < len(en.flows) {
+			nextArrival = en.flows[arrived].spec.At
 			if nextArrival < now {
 				nextArrival = now
 			}
@@ -109,124 +129,26 @@ func Run(cfg Config, specs []workload.FlowSpec) (*Result, error) {
 			next = nextArrival
 		}
 		if next == sim.Forever {
-			return nil, fmt.Errorf("fluid: stalled at %v with %d active flows and no progress", now, len(active))
+			return nil, fmt.Errorf("fluid: stalled at %v with %d active flows and no progress", now, en.activeCount)
 		}
 		if next > cfg.Limit {
-			return nil, fmt.Errorf("fluid: time limit %v exceeded with %d flows left", cfg.Limit, len(active)+len(pending))
-		}
-
-		// Advance fluid state to `next`.
-		dt := next.Sub(now).Seconds()
-		for f := range active {
-			f.remaining -= f.rate * dt
-			if f.remaining < 0 {
-				f.remaining = 0
-			}
+			return nil, fmt.Errorf("fluid: time limit %v exceeded with %d flows left", cfg.Limit, en.activeCount+len(en.flows)-arrived)
 		}
 		now = next
 		res.Events++
 
-		switch {
-		case next == nextArrival && len(pending) > 0:
-			spec := pending[0]
-			pending = pending[1:]
-			path, err := table.Path(topo.NodeID(spec.Src), topo.NodeID(spec.Dst))
-			if err != nil {
-				return nil, fmt.Errorf("fluid: routing flow %d→%d: %w", spec.Src, spec.Dst, err)
-			}
-			f := &flowState{
-				spec:      spec,
-				path:      path,
-				remaining: float64(spec.Bytes) * 8,
-				start:     now,
-			}
-			active[f] = struct{}{}
-		default:
-			delete(active, doneFlow)
-			fct := now.Sub(doneFlow.start) +
-				sim.Duration(int64(cfg.PerHopLatency)*int64(len(doneFlow.path)))
-			res.Flows = append(res.Flows, FlowResult{
-				Spec:  doneFlow.spec,
-				Start: doneFlow.start,
-				FCT:   fct,
-				Hops:  len(doneFlow.path),
-			})
+		// Arrivals win exact ties against completions, as in the original
+		// engine; tied completions resolve in flow-ID order via the heap.
+		if next == nextArrival && arrived < len(en.flows) {
+			en.arrive(int32(arrived), now)
+			arrived++
+		} else {
+			res.Flows = append(res.Flows, en.complete(doneID, now))
 		}
-		allocate(active)
+		en.compactDone()
 	}
 	summarize(res)
 	return res, nil
-}
-
-// allocate computes the max-min fair rate for every active flow by
-// progressive filling: repeatedly find the tightest link (least capacity
-// per unfrozen flow), freeze its flows at that fair share, subtract, and
-// continue until every flow is frozen. The structures are flat slices —
-// this runs on every arrival/completion event of a 1000-node sweep.
-func allocate(active map[*flowState]struct{}) {
-	if len(active) == 0 {
-		return
-	}
-	type linkLoad struct {
-		cap      float64
-		unfrozen int
-		flows    []*flowState
-	}
-	idx := make(map[*topo.Edge]int)
-	links := make([]*linkLoad, 0, 4*len(active))
-	flowLinks := make(map[*flowState][]int, len(active))
-	for f := range active {
-		f.rate = -1 // unfrozen marker
-		lis := make([]int, 0, len(f.path))
-		for _, e := range f.path {
-			li, ok := idx[e]
-			if !ok {
-				li = len(links)
-				idx[e] = li
-				links = append(links, &linkLoad{cap: e.Link.EffectiveRate()})
-			}
-			links[li].unfrozen++
-			links[li].flows = append(links[li].flows, f)
-			lis = append(lis, li)
-		}
-		flowLinks[f] = lis
-	}
-	remaining := len(active)
-	for remaining > 0 {
-		bottleneck := math.Inf(1)
-		tight := -1
-		for li, ll := range links {
-			if ll.unfrozen == 0 {
-				continue
-			}
-			if share := ll.cap / float64(ll.unfrozen); share < bottleneck {
-				bottleneck, tight = share, li
-			}
-		}
-		if tight < 0 {
-			for f := range active {
-				if f.rate < 0 {
-					f.rate = 0
-				}
-			}
-			return
-		}
-		for _, f := range links[tight].flows {
-			if f.rate >= 0 {
-				continue // already frozen via another link
-			}
-			f.rate = bottleneck
-			remaining--
-			for _, li := range flowLinks[f] {
-				ll := links[li]
-				ll.unfrozen--
-				ll.cap -= bottleneck
-				if ll.cap < 0 {
-					ll.cap = 0
-				}
-			}
-		}
-	}
 }
 
 // summarize fills the aggregate fields.
@@ -250,6 +172,20 @@ func summarize(res *Result) {
 	}
 	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
 	res.MeanFCT = sim.Duration(sum / float64(len(fcts)))
-	res.P99FCT = fcts[(len(fcts)-1)*99/100]
+	res.P99FCT = fcts[nearestRank(len(fcts), 99)]
 	res.JCT = latest.Sub(earliest)
+}
+
+// nearestRank returns the 0-based index of the pct-th percentile sample
+// under the nearest-rank convention: the ceil(pct/100·n)-th smallest of n
+// sorted samples. This is the same rank telemetry.Histogram.Quantile
+// resolves, so fluid tables and histogram summaries agree at every n
+// (n=12 previously disagreed: (n-1)·99/100 indexes the 11th sample where
+// nearest-rank demands the 12th).
+func nearestRank(n, pct int) int {
+	idx := (n*pct + 99) / 100 // ceil(n·pct/100)
+	if idx < 1 {
+		idx = 1
+	}
+	return idx - 1
 }

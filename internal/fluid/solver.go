@@ -1,0 +1,321 @@
+package fluid
+
+import (
+	"math"
+
+	"rackfab/internal/heapx"
+	"rackfab/internal/route"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// flowState is one fluid flow, identified by its index in engine.flows.
+// Flow IDs are assigned in canonical spec order (see canonicalize), so every
+// piece of per-flow state — and every tie broken by flow ID — is a pure
+// function of the spec multiset, never of input order or map iteration.
+type flowState struct {
+	spec  workload.FlowSpec
+	links []int32 // stable link IDs (topo Edge.Index) along the path
+	hops  int
+
+	remaining float64  // bits left at time `settled`
+	rate      float64  // bit/s from the last max-min fill (0 = starved)
+	start     sim.Time // arrival instant
+	settled   sim.Time // instant `remaining` was last brought up to date
+	finish    sim.Time // projected completion under `rate`
+	gen       uint32   // bumped on every rate change; stale doneHeap filter
+	active    bool
+}
+
+// settle advances f.remaining to `now` under the current rate. Rates only
+// change inside refill, so between fills remaining is a linear function of
+// time and needs no per-event touch — this is what makes event cost
+// proportional to the affected component instead of to all active flows.
+func (f *flowState) settle(now sim.Time) {
+	if now > f.settled {
+		f.remaining -= f.rate * now.Sub(f.settled).Seconds()
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.settled = now
+	}
+}
+
+// engine is the indexed fluid solver. All state lives in flat slices keyed
+// by flow ID or link ID (topo Edge.Index); nothing on the hot path iterates
+// a Go map, so identical inputs produce byte-identical results.
+type engine struct {
+	graph  *topo.Graph
+	table  *route.Table
+	perHop sim.Duration
+
+	flows       []flowState
+	activeCount int
+
+	// Per-link state, indexed by stable link ID.
+	linkCap   []float64 // capacity snapshot (EffectiveRate at engine build)
+	linkFlows [][]int32 // active flow IDs crossing each link
+
+	// Completion-time heap with lazy invalidation: entries are (finish,
+	// flowID, rate generation) and losers are discarded on peek.
+	done heapx.Heap[doneEntry]
+
+	// Scratch for the incremental fill, reused across events. Membership is
+	// epoch-stamped so clearing costs nothing.
+	epoch       uint32
+	linkEpoch   []uint32
+	flowEpoch   []uint32
+	frozenEpoch []uint32
+	capLeft     []float64
+	unfrozen    []int32
+	compLinks   []int32
+	compFlows   []int32
+	alive       []int32
+}
+
+// newEngine builds the indexed solver for one run. Link capacities are
+// snapshotted once: a fluid run never reconfigures the fabric mid-flight.
+func newEngine(g *topo.Graph, perHop sim.Duration) *engine {
+	en := &engine{
+		graph:  g,
+		table:  route.Build(g, route.UniformCost),
+		perHop: perHop,
+	}
+	nl := g.EdgeIndexBound()
+	en.linkCap = make([]float64, nl)
+	en.linkFlows = make([][]int32, nl)
+	for _, e := range g.Edges() {
+		en.linkCap[e.Index()] = e.Link.EffectiveRate()
+	}
+	en.linkEpoch = make([]uint32, nl)
+	en.capLeft = make([]float64, nl)
+	en.unfrozen = make([]int32, nl)
+	return en
+}
+
+// addFlows routes the canonicalized specs and allocates flow state. Flows
+// start inactive; arrive activates them in spec-time order.
+func (en *engine) addFlows(specs []workload.FlowSpec) error {
+	en.flows = make([]flowState, len(specs))
+	en.flowEpoch = make([]uint32, len(specs))
+	en.frozenEpoch = make([]uint32, len(specs))
+	for i, spec := range specs {
+		path, err := en.table.Path(topo.NodeID(spec.Src), topo.NodeID(spec.Dst))
+		if err != nil {
+			return err
+		}
+		links := make([]int32, len(path))
+		for j, e := range path {
+			links[j] = int32(e.Index())
+		}
+		en.flows[i] = flowState{spec: spec, links: links, hops: len(path)}
+	}
+	return nil
+}
+
+// arrive activates flow fid at `now` and re-solves its component.
+func (en *engine) arrive(fid int32, now sim.Time) {
+	f := &en.flows[fid]
+	f.active = true
+	f.start = now
+	f.settled = now
+	f.remaining = float64(f.spec.Bytes) * 8
+	f.rate = 0
+	en.activeCount++
+	for _, li := range f.links {
+		en.linkFlows[li] = append(en.linkFlows[li], fid)
+	}
+	en.refill(now, f.links)
+}
+
+// complete deactivates flow fid at `now`, re-solves the component it leaves
+// behind, and returns its result.
+func (en *engine) complete(fid int32, now sim.Time) FlowResult {
+	f := &en.flows[fid]
+	f.active = false
+	f.remaining = 0
+	f.rate = 0
+	en.activeCount--
+	for _, li := range f.links {
+		lf := en.linkFlows[li]
+		for k, id := range lf {
+			if id == fid {
+				lf[k] = lf[len(lf)-1]
+				en.linkFlows[li] = lf[:len(lf)-1]
+				break
+			}
+		}
+	}
+	en.refill(now, f.links)
+	return FlowResult{
+		Spec:  f.spec,
+		Start: f.start,
+		FCT:   now.Sub(f.start) + sim.Duration(int64(en.perHop)*int64(f.hops)),
+		Hops:  f.hops,
+	}
+}
+
+// component collects, into compLinks/compFlows, the connected component of
+// the link–flow sharing graph reachable from the seed links. Max-min
+// allocations decompose over these components: a perturbation on the seed
+// links can change rates only inside its component, so refill touches
+// nothing else.
+func (en *engine) component(seed []int32) {
+	en.epoch++
+	en.compLinks = en.compLinks[:0]
+	en.compFlows = en.compFlows[:0]
+	for _, li := range seed {
+		if en.linkEpoch[li] != en.epoch {
+			en.linkEpoch[li] = en.epoch
+			en.compLinks = append(en.compLinks, li)
+		}
+	}
+	for i := 0; i < len(en.compLinks); i++ {
+		for _, fid := range en.linkFlows[en.compLinks[i]] {
+			if en.flowEpoch[fid] == en.epoch {
+				continue
+			}
+			en.flowEpoch[fid] = en.epoch
+			en.compFlows = append(en.compFlows, fid)
+			for _, lj := range en.flows[fid].links {
+				if en.linkEpoch[lj] != en.epoch {
+					en.linkEpoch[lj] = en.epoch
+					en.compLinks = append(en.compLinks, lj)
+				}
+			}
+		}
+	}
+}
+
+// refill recomputes the max-min fair allocation of the component around the
+// seed links by progressive filling: each round finds the smallest fair
+// share (capacity per unfrozen flow) over the still-live component links by
+// a flat scan, then freezes the flows of every link currently sitting at
+// exactly that share. Link order is the BFS discovery order of component(),
+// a pure function of canonical flow IDs — no map iteration anywhere — so
+// freezing order, and with it every floating-point subtraction, is
+// deterministic. Symmetric fabrics make whole waves of links tie at the
+// bottleneck share, so a round typically retires many links at once and the
+// scan stays far cheaper than a priority queue under tie churn.
+func (en *engine) refill(now sim.Time, seed []int32) {
+	en.component(seed)
+	en.alive = en.alive[:0]
+	for _, li := range en.compLinks {
+		n := int32(len(en.linkFlows[li]))
+		en.capLeft[li] = en.linkCap[li]
+		en.unfrozen[li] = n
+		if n > 0 {
+			en.alive = append(en.alive, li)
+		}
+	}
+	remaining := len(en.compFlows)
+	for remaining > 0 {
+		// Round: compact the live list and find the bottleneck share.
+		best := math.Inf(1)
+		kept := en.alive[:0]
+		for _, li := range en.alive {
+			if en.unfrozen[li] == 0 {
+				continue
+			}
+			kept = append(kept, li)
+			if share := en.capLeft[li] / float64(en.unfrozen[li]); share < best {
+				best = share
+			}
+		}
+		en.alive = kept
+		if len(en.alive) == 0 {
+			// Defensive only: every unfrozen component flow keeps each of its
+			// links' unfrozen counts positive, so a live link must exist while
+			// remaining > 0. Bail rather than spin if that invariant breaks.
+			return
+		}
+		// Freeze the flows of every link still exactly at the bottleneck
+		// share. Freezing one link's flows raises (never lowers) the shares
+		// of the links they also cross, so re-checking at visit time is safe:
+		// a link knocked off the tie is simply deferred to a later round.
+		for _, li := range en.alive {
+			if en.unfrozen[li] == 0 || en.capLeft[li]/float64(en.unfrozen[li]) != best {
+				continue
+			}
+			for _, fid := range en.linkFlows[li] {
+				if en.frozenEpoch[fid] == en.epoch {
+					continue // frozen via an earlier link this fill
+				}
+				en.frozenEpoch[fid] = en.epoch
+				remaining--
+				for _, lj := range en.flows[fid].links {
+					en.unfrozen[lj]--
+					en.capLeft[lj] -= best
+					if en.capLeft[lj] < 0 {
+						en.capLeft[lj] = 0
+					}
+				}
+				en.setRate(fid, now, best)
+			}
+		}
+	}
+}
+
+// setRate settles flow fid and repoints it at a new rate, refreshing its
+// completion-heap entry. An unchanged rate is a no-op: the flow's projected
+// finish instant is invariant under settlement, so the existing heap entry
+// stays valid and the heap only grows where the perturbation actually
+// changed something.
+func (en *engine) setRate(fid int32, now sim.Time, rate float64) {
+	f := &en.flows[fid]
+	if rate == f.rate {
+		return
+	}
+	f.settle(now)
+	f.rate = rate
+	f.gen++
+	if rate > 0 {
+		f.finish = now.Add(sim.Seconds(f.remaining / rate))
+		en.done.Push(doneEntry{t: f.finish, fid: fid, gen: f.gen})
+	}
+}
+
+// nextDone returns the earliest valid projected completion, breaking exact
+// time ties by lowest flow ID. Stale entries (completed flows, superseded
+// rates) are discarded on the way; when the live fraction drops too low the
+// heap is compacted so lazy deletion stays O(active).
+func (en *engine) nextDone() (sim.Time, int32) {
+	for en.done.Len() > 0 {
+		e := en.done.Min()
+		f := &en.flows[e.fid]
+		if f.active && e.gen == f.gen {
+			return e.t, e.fid
+		}
+		en.done.Pop()
+	}
+	return sim.Forever, -1
+}
+
+// compactDone drops stale completion entries in place when they dominate.
+func (en *engine) compactDone() {
+	if en.done.Len() < 4*en.activeCount+64 {
+		return
+	}
+	en.done.Filter(func(e doneEntry) bool {
+		f := &en.flows[e.fid]
+		return f.active && e.gen == f.gen
+	})
+}
+
+// doneEntry is a projected flow completion: ordered by time, then flow ID —
+// a total order, so tied finishes resolve identically on every run.
+type doneEntry struct {
+	t   sim.Time
+	fid int32
+	gen uint32
+}
+
+// Before implements heapx.Ordered.
+func (e doneEntry) Before(other doneEntry) bool {
+	if e.t != other.t {
+		return e.t < other.t
+	}
+	return e.fid < other.fid
+}
+

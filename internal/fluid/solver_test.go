@@ -1,0 +1,158 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rackfab/internal/sim"
+	"rackfab/internal/telemetry"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// activeEngine builds an engine over g with every spec arrived at t=0, the
+// worst case for bottleneck-share ties.
+func activeEngine(t testing.TB, g *topo.Graph, specs []workload.FlowSpec) *engine {
+	t.Helper()
+	en := newEngine(g, 450*sim.Nanosecond)
+	if err := en.addFlows(canonicalize(specs)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range en.flows {
+		en.arrive(int32(i), 0)
+	}
+	return en
+}
+
+// checkMaxMin verifies the two invariants of a max-min fair allocation over
+// the engine's current rates:
+//
+//  1. feasibility — no link carries more than its capacity, and
+//  2. optimality — every flow is blocked by a bottleneck: some link on its
+//     path is saturated and carries no flow faster than it, so the flow
+//     cannot raise its rate without lowering a no-richer one.
+func checkMaxMin(t *testing.T, en *engine) {
+	t.Helper()
+	const rel = 1e-6
+	load := make([]float64, len(en.linkCap))
+	for li, fids := range en.linkFlows {
+		for _, fid := range fids {
+			load[li] += en.flows[fid].rate
+		}
+		if load[li] > en.linkCap[li]*(1+rel) {
+			t.Fatalf("link %d over capacity: %g > %g", li, load[li], en.linkCap[li])
+		}
+	}
+	for fid := range en.flows {
+		f := &en.flows[fid]
+		if !f.active {
+			continue
+		}
+		if f.rate <= 0 {
+			t.Fatalf("flow %d starved: rate %g", fid, f.rate)
+		}
+		bottlenecked := false
+		for _, li := range f.links {
+			if load[li] < en.linkCap[li]*(1-rel) {
+				continue // unsaturated: not a bottleneck
+			}
+			fastest := 0.0
+			for _, other := range en.linkFlows[li] {
+				if r := en.flows[other].rate; r > fastest {
+					fastest = r
+				}
+			}
+			if f.rate >= fastest*(1-rel) {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			t.Fatalf("flow %d (rate %g) has no bottleneck link — allocation is not max-min", fid, f.rate)
+		}
+	}
+}
+
+// TestMaxMinInvariantProperty drives the solver over random workloads on
+// tied-capacity fabrics (every link identical, so bottleneck shares tie
+// constantly) and checks feasibility plus the max-min certificate, and that
+// a shuffled copy of the same specs freezes to bit-identical rates.
+func TestMaxMinInvariantProperty(t *testing.T) {
+	prop := func(seed int64, sideRaw, flowsRaw uint8) bool {
+		side := 3 + int(sideRaw)%3
+		n := side * side
+		flows := 2 + int(flowsRaw)%30
+		rng := sim.NewRNG(seed)
+		specs := make([]workload.FlowSpec, 0, flows)
+		for len(specs) < flows {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			specs = append(specs, workload.FlowSpec{Src: src, Dst: dst, Bytes: 1e6})
+		}
+		g := topo.NewTorus(side, side, topo.Options{})
+		en := activeEngine(t, g, specs)
+		checkMaxMin(t, en)
+
+		shuffled := append([]workload.FlowSpec(nil), specs...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		en2 := activeEngine(t, g, shuffled)
+		for fid := range en.flows {
+			if en.flows[fid].rate != en2.flows[fid].rate {
+				t.Fatalf("flow %d rate depends on input order: %g vs %g",
+					fid, en.flows[fid].rate, en2.flows[fid].rate)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestP99Convention pins summarize's P99 to the nearest-rank convention
+// telemetry.Histogram.Quantile uses: the ceil(0.99·n)-th smallest sample.
+// The two disagreed at small n — (n-1)·99/100 picks the 11th of 12 samples
+// where nearest-rank demands the 12th. Sample values are chosen to sit
+// exactly on histogram bucket bounds so the comparison is exact.
+func TestP99Convention(t *testing.T) {
+	for _, n := range []int{1, 12, 100} {
+		res := &Result{}
+		h := telemetry.NewHistogramPrecision(8)
+		for k := 1; k <= n; k++ {
+			v := sim.Duration(k) << 12
+			res.Flows = append(res.Flows, FlowResult{FCT: v})
+			h.Record(int64(v))
+		}
+		summarize(res)
+		want := sim.Duration(int64(math.Ceil(float64(n)*0.99))) << 12
+		if res.P99FCT != want {
+			t.Errorf("n=%d: summarize P99 = %d, want nearest-rank %d", n, res.P99FCT, want)
+		}
+		if got := h.Quantile(0.99); got != int64(want) {
+			t.Errorf("n=%d: histogram P99 = %d, want %d — conventions diverged", n, got, want)
+		}
+	}
+}
+
+// BenchmarkFluidAllocate measures one incremental re-solve in isolation: a
+// 256-node torus with a full permutation active, re-filling the component
+// around one flow's path per iteration (the exact work an arrival or
+// completion triggers).
+func BenchmarkFluidAllocate(b *testing.B) {
+	g := topo.NewTorus(16, 16, topo.Options{})
+	rng := sim.NewRNG(3)
+	specs := workload.Permutation(rng, 256, workload.Fixed(1e6))
+	en := activeEngine(b, g, specs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &en.flows[i%len(en.flows)]
+		en.refill(0, f.links)
+	}
+}

@@ -1,0 +1,106 @@
+// Package heapx provides a minimal binary min-heap over a plain slice.
+//
+// It exists so the hot simulation paths don't each hand-roll sift logic and
+// don't pay container/heap's interface{} boxing: Push/Pop here allocate only
+// when the backing slice grows, and ordering comes from the element type's
+// own Before method, which the compiler can devirtualize per instantiation.
+package heapx
+
+// Ordered is an element that knows its own heap priority.
+type Ordered[T any] interface {
+	// Before reports whether the receiver sorts strictly ahead of other.
+	// For deterministic engines, implement a total order (break priority
+	// ties on a stable ID) so heap behavior never depends on insertion
+	// history alone.
+	Before(other T) bool
+}
+
+// Heap is a binary min-heap. The zero value is ready to use; Grow presizes.
+type Heap[T Ordered[T]] struct {
+	items []T
+}
+
+// Len returns the number of queued elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Grow ensures capacity for at least n elements.
+func (h *Heap[T]) Grow(n int) {
+	if cap(h.items) < n {
+		items := make([]T, len(h.items), n)
+		copy(items, h.items)
+		h.items = items
+	}
+}
+
+// Reset empties the heap, keeping the backing storage.
+func (h *Heap[T]) Reset() { h.items = h.items[:0] }
+
+// Min returns the smallest element; it panics on an empty heap.
+func (h *Heap[T]) Min() T { return h.items[0] }
+
+// Push adds e.
+func (h *Heap[T]) Push(e T) {
+	h.items = append(h.items, e)
+	s := h.items
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s[i].Before(s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the smallest element; it panics on an empty heap.
+func (h *Heap[T]) Pop() T {
+	s := h.items
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	var zero T
+	s[n] = zero // drop references so popped elements don't pin memory
+	h.items = s[:n]
+	h.siftDown(0)
+	return top
+}
+
+// Filter keeps only elements satisfying keep and restores heap order — the
+// compaction primitive for lazily-invalidated heaps.
+func (h *Heap[T]) Filter(keep func(T) bool) {
+	live := h.items[:0]
+	for _, e := range h.items {
+		if keep(e) {
+			live = append(live, e)
+		}
+	}
+	var zero T
+	for i := len(live); i < len(h.items); i++ {
+		h.items[i] = zero
+	}
+	h.items = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	s := h.items
+	n := len(s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l].Before(s[m]) {
+			m = l
+		}
+		if r < n && s[r].Before(s[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}

@@ -1,0 +1,74 @@
+package heapx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type intEntry struct{ k, id int }
+
+func (e intEntry) Before(o intEntry) bool {
+	if e.k != o.k {
+		return e.k < o.k
+	}
+	return e.id < o.id
+}
+
+func TestHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var h Heap[intEntry]
+	h.Grow(64)
+	want := make([]intEntry, 200)
+	for i := range want {
+		want[i] = intEntry{k: rng.Intn(20), id: i}
+		h.Push(want[i])
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].Before(want[j]) })
+	for i, w := range want {
+		if h.Min() != w {
+			t.Fatalf("pop %d: min %+v, want %+v", i, h.Min(), w)
+		}
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len %d after draining", h.Len())
+	}
+}
+
+func TestHeapFilter(t *testing.T) {
+	var h Heap[intEntry]
+	for i := 0; i < 100; i++ {
+		h.Push(intEntry{k: i % 10, id: i})
+	}
+	h.Filter(func(e intEntry) bool { return e.id%3 == 0 })
+	if h.Len() != 34 {
+		t.Fatalf("len %d after filter, want 34", h.Len())
+	}
+	prev := h.Pop()
+	for h.Len() > 0 {
+		cur := h.Pop()
+		if cur.Before(prev) {
+			t.Fatalf("heap order broken after Filter: %+v before %+v", cur, prev)
+		}
+		if cur.id%3 != 0 {
+			t.Fatalf("filtered-out entry %+v survived", cur)
+		}
+		prev = cur
+	}
+}
+
+func TestHeapReset(t *testing.T) {
+	var h Heap[intEntry]
+	h.Push(intEntry{k: 1})
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("reset did not empty the heap")
+	}
+	h.Push(intEntry{k: 2})
+	if h.Min().k != 2 {
+		t.Fatal("heap unusable after reset")
+	}
+}

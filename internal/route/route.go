@@ -10,10 +10,10 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
+	"rackfab/internal/heapx"
 	"rackfab/internal/topo"
 )
 
@@ -30,59 +30,84 @@ func UniformCost(e *topo.Edge) float64 {
 }
 
 // Table holds next-hop routing state for every (node, destination) pair.
+// Cost-tied next hops for all pairs share one backing arena addressed by
+// (offset, count) per pair — a rebuild allocates a handful of flat slices
+// instead of one slice header per reachable pair.
 type Table struct {
 	n       int
-	primary []*topo.Edge   // [from*n+dst] deterministic best next hop
-	ecmp    [][]*topo.Edge // [from*n+dst] all cost-tied next hops
-	dist    []float64      // [from*n+dst] total path cost
+	primary []*topo.Edge // [from*n+dst] deterministic best next hop
+	ecmpOff []int32      // [from*n+dst] offset of the pair's ties in arena
+	ecmpCnt []int32      // [from*n+dst] number of cost-tied next hops
+	arena   []*topo.Edge // concatenated tie lists
+	dist    []float64    // [from*n+dst] total path cost
 }
 
 // Build runs one backward Dijkstra per destination over the live graph and
 // records, for every node, the incident edge(s) starting a minimum-cost
-// path to that destination.
+// path to that destination. Edge costs are evaluated once up front: a cost
+// function reads live link state, and one build must see a consistent
+// snapshot of it anyway.
 func Build(g *topo.Graph, cost CostFunc) *Table {
 	n := g.NumNodes()
 	t := &Table{
 		n:       n,
 		primary: make([]*topo.Edge, n*n),
-		ecmp:    make([][]*topo.Edge, n*n),
+		ecmpOff: make([]int32, n*n),
+		ecmpCnt: make([]int32, n*n),
 		dist:    make([]float64, n*n),
 	}
 	for i := range t.dist {
 		t.dist[i] = math.Inf(1)
 	}
+	costOf := make([]float64, g.EdgeIndexBound())
+	for _, e := range g.Edges() {
+		c := cost(e)
+		if !math.IsInf(c, 1) && c <= 0 {
+			panic(fmt.Sprintf("route: non-positive edge cost %v on %d-%d", c, e.A, e.B))
+		}
+		costOf[e.Index()] = c
+	}
+	scratch := &buildScratch{dist: make([]float64, n)}
 	for dst := 0; dst < n; dst++ {
-		buildForDst(g, topo.NodeID(dst), cost, t)
+		buildForDst(g, topo.NodeID(dst), costOf, t, scratch)
 	}
 	return t
 }
 
+// buildScratch is per-destination working memory reused across the n
+// Dijkstra passes of one Build. The frontier is a heapx heap rather than
+// container/heap: the interface{} boxing there allocated on every push,
+// which dominated Build's allocation profile at rack scale.
+type buildScratch struct {
+	dist []float64
+	pq   heapx.Heap[nodeDist]
+}
+
 // buildForDst fills column dst of the table.
-func buildForDst(g *topo.Graph, dst topo.NodeID, cost CostFunc, t *Table) {
+func buildForDst(g *topo.Graph, dst topo.NodeID, costOf []float64, t *Table, s *buildScratch) {
 	n := g.NumNodes()
-	dist := make([]float64, n)
+	dist := s.dist
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
 	dist[dst] = 0
-	pq := &nodeHeap{items: []nodeDist{{node: dst, dist: 0}}}
+	pq := &s.pq
+	pq.Reset()
+	pq.Push(nodeDist{node: dst, dist: 0})
 	for pq.Len() > 0 {
-		cur := heap.Pop(pq).(nodeDist)
+		cur := pq.Pop()
 		if cur.dist > dist[cur.node] {
 			continue // stale entry
 		}
 		for _, e := range g.Adjacent(cur.node) {
-			c := cost(e)
+			c := costOf[e.Index()]
 			if math.IsInf(c, 1) {
 				continue
-			}
-			if c <= 0 {
-				panic(fmt.Sprintf("route: non-positive edge cost %v on %d-%d", c, e.A, e.B))
 			}
 			next := e.Other(cur.node)
 			if nd := cur.dist + c; nd < dist[next] {
 				dist[next] = nd
-				heap.Push(pq, nodeDist{node: next, dist: nd})
+				pq.Push(nodeDist{node: next, dist: nd})
 			}
 		}
 	}
@@ -95,21 +120,23 @@ func buildForDst(g *topo.Graph, dst topo.NodeID, cost CostFunc, t *Table) {
 		if topo.NodeID(from) == dst || math.IsInf(dist[from], 1) {
 			continue
 		}
-		var ties []*topo.Edge
+		off := int32(len(t.arena))
 		for _, e := range g.Adjacent(topo.NodeID(from)) {
-			c := cost(e)
+			c := costOf[e.Index()]
 			if math.IsInf(c, 1) {
 				continue
 			}
 			if math.Abs(c+dist[e.Other(topo.NodeID(from))]-dist[from]) < eps {
-				ties = append(ties, e)
+				t.arena = append(t.arena, e)
 			}
 		}
-		if len(ties) == 0 {
+		cnt := int32(len(t.arena)) - off
+		if cnt == 0 {
 			continue
 		}
-		t.primary[idx] = ties[0]
-		t.ecmp[idx] = ties
+		t.primary[idx] = t.arena[off]
+		t.ecmpOff[idx] = off
+		t.ecmpCnt[idx] = cnt
 	}
 }
 
@@ -129,11 +156,12 @@ func (t *Table) NextHopECMP(from, to topo.NodeID, flowHash uint64) (*topo.Edge, 
 	if from == to {
 		return nil, false
 	}
-	ties := t.ecmp[int(from)*t.n+int(to)]
-	if len(ties) == 0 {
+	idx := int(from)*t.n + int(to)
+	cnt := t.ecmpCnt[idx]
+	if cnt == 0 {
 		return nil, false
 	}
-	return ties[flowHash%uint64(len(ties))], true
+	return t.arena[uint64(t.ecmpOff[idx])+flowHash%uint64(cnt)], true
 }
 
 // Distance returns the total path cost from from to to (+Inf when
@@ -176,16 +204,6 @@ type nodeDist struct {
 	dist float64
 }
 
-type nodeHeap struct{ items []nodeDist }
-
-func (h *nodeHeap) Len() int           { return len(h.items) }
-func (h *nodeHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
-func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(nodeDist)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
-}
+// Before orders the Dijkstra frontier by tentative distance. Stale entries
+// make exact ties harmless here: both pop, the second is skipped.
+func (d nodeDist) Before(other nodeDist) bool { return d.dist < other.dist }

@@ -34,10 +34,21 @@ type Edge struct {
 	// PLP #2; Via lists the bypassed intermediate nodes in path order.
 	Express bool
 	Via     []NodeID
+
+	// idx is the edge's dense insertion index within its graph; it never
+	// changes once assigned and is never reused, so solvers can key flat
+	// per-link arrays on it instead of iterating pointer maps.
+	idx int
 }
 
 // ID returns the underlying link's identity.
 func (e *Edge) ID() phy.LinkID { return e.Link.ID }
+
+// Index returns the edge's stable per-graph index: construction and express
+// edges are numbered in insertion order starting at 0, and an index is never
+// reused even after RemoveExpress. Indexes are dense in
+// [0, Graph.EdgeIndexBound()) for a graph that has not removed edges.
+func (e *Edge) Index() int { return e.idx }
 
 // Other returns the endpoint opposite n; it panics if n is not an endpoint.
 func (e *Edge) Other(n NodeID) NodeID {
@@ -95,6 +106,7 @@ type Graph struct {
 	adj           [][]*Edge
 	opts          Options
 	nextLink      phy.LinkID
+	nextEdgeIdx   int
 }
 
 // Kind names the construction ("grid", "torus", "ring", "line").
@@ -169,7 +181,8 @@ func (g *Graph) addEdge(a, b NodeID, lengthM float64) *Edge {
 		panic(fmt.Sprintf("topo: building link %d: %v", g.nextLink, err))
 	}
 	g.nextLink++
-	e := &Edge{A: a, B: b, Link: link}
+	e := &Edge{A: a, B: b, Link: link, idx: g.nextEdgeIdx}
+	g.nextEdgeIdx++
 	g.edges = append(g.edges, e)
 	g.adj[a] = append(g.adj[a], e)
 	g.adj[b] = append(g.adj[b], e)
@@ -180,7 +193,8 @@ func (g *Graph) addEdge(a, b NodeID, lengthM float64) *Edge {
 // channel link is provided by the caller (the fabric builds it from freed
 // bypassed lanes). Via lists the bypassed intermediate nodes.
 func (g *Graph) AddExpress(a, b NodeID, via []NodeID, link *phy.Link) *Edge {
-	e := &Edge{A: a, B: b, Link: link, Express: true, Via: append([]NodeID(nil), via...)}
+	e := &Edge{A: a, B: b, Link: link, Express: true, Via: append([]NodeID(nil), via...), idx: g.nextEdgeIdx}
+	g.nextEdgeIdx++
 	g.edges = append(g.edges, e)
 	g.adj[a] = append(g.adj[a], e)
 	g.adj[b] = append(g.adj[b], e)
@@ -207,6 +221,11 @@ func removeEdge(s []*Edge, e *Edge) []*Edge {
 	}
 	return s
 }
+
+// EdgeIndexBound returns one past the largest Edge.Index ever assigned by
+// this graph. Flat arrays sized by this bound can be indexed directly by
+// Edge.Index for every edge, past and present.
+func (g *Graph) EdgeIndexBound() int { return g.nextEdgeIdx }
 
 // NextLinkID hands out fresh physical link IDs for runtime express links.
 func (g *Graph) NextLinkID() phy.LinkID {

@@ -324,3 +324,45 @@ func TestNodeAtBounds(t *testing.T) {
 	}()
 	g.NodeAt(3, 0)
 }
+
+// TestEdgeIndexStable pins the contract flat-array solvers rely on: edge
+// indexes are dense insertion-ordered at construction, express edges extend
+// the sequence, and an index is never reused after RemoveExpress.
+func TestEdgeIndexStable(t *testing.T) {
+	g := NewTorus(4, 4, Options{})
+	for i, e := range g.Edges() {
+		if e.Index() != i {
+			t.Fatalf("construction edge %d has index %d", i, e.Index())
+		}
+	}
+	bound := g.EdgeIndexBound()
+	if bound != len(g.Edges()) {
+		t.Fatalf("bound %d != %d edges", bound, len(g.Edges()))
+	}
+	link, err := phy.NewLink(g.NextLinkID(), phy.Backplane, 2, 1, 25.78125e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := g.AddExpress(0, 5, []NodeID{1}, link)
+	if ex.Index() != bound {
+		t.Fatalf("express edge index %d, want %d", ex.Index(), bound)
+	}
+	if g.EdgeIndexBound() != bound+1 {
+		t.Fatalf("bound %d after express, want %d", g.EdgeIndexBound(), bound+1)
+	}
+	if err := g.RemoveExpress(ex); err != nil {
+		t.Fatal(err)
+	}
+	// The removed index stays retired: the next express edge gets a fresh one.
+	link2, err := phy.NewLink(g.NextLinkID(), phy.Backplane, 2, 1, 25.78125e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2 := g.AddExpress(0, 5, []NodeID{1}, link2)
+	if ex2.Index() != bound+1 {
+		t.Fatalf("index %d reused after removal, want fresh %d", ex2.Index(), bound+1)
+	}
+	if g.EdgeIndexBound() != bound+2 {
+		t.Fatalf("bound %d, want %d", g.EdgeIndexBound(), bound+2)
+	}
+}
