@@ -135,6 +135,23 @@ func BenchmarkFluidEngine1024(b *testing.B) {
 	}
 }
 
+// BenchmarkFluidEngine4096 is the top rung of the full-scale E8 ladder: the
+// 64×64 grid under a simultaneous random permutation. It exists to keep the
+// 4096-node trial's wall time honest — it is too slow for the CI bench smoke
+// (which selects BenchmarkFluidEngine(1024)?$) and is run manually when
+// recording BENCH_fluid.json baselines.
+func BenchmarkFluidEngine4096(b *testing.B) {
+	g := topo.NewGrid(64, 64, topo.Options{})
+	rng := sim.NewRNG(64)
+	specs := workload.Permutation(rng, 4096, workload.Fixed(1e6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fluid.Run(fluid.Config{Graph: g}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRouteRebuild measures a full price-driven routing rebuild on a
 // 256-node torus — the CRC pays this every epoch.
 func BenchmarkRouteRebuild(b *testing.B) {

@@ -1,0 +1,157 @@
+// Command benchgate is the CI perf gate for the fluid engine: it reads the
+// output of a `go test -bench` smoke run on stdin, parses the recorded
+// baselines out of a BENCH_*.json file, and exits nonzero when any gated
+// benchmark regressed past the allowed margin.
+//
+// Baselines are declared in the benchmark log as explicit GATE lines so the
+// gate never has to guess which of the file's historical before/after
+// sections is current:
+//
+//	// GATE BenchmarkFluidAllocate/warm 53000 ns/op
+//	// GATE BenchmarkFluidEngine 33000000 ns/op
+//
+// Usage:
+//
+//	go test -run xxx -bench '...' -benchtime 20x ./... | \
+//	    go run ./cmd/benchgate -baseline BENCH_fluid.json -max-regress 30
+//
+// Every gated benchmark must appear in the input: a gate that silently
+// stops running is itself a CI failure, not a pass.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	// gateRe matches "GATE <name> <ns> ns/op" with an optional comment
+	// prefix, as written in BENCH_*.json files.
+	gateRe = regexp.MustCompile(`^(?://\s*)?GATE\s+(\S+)\s+([0-9.eE+]+)\s+ns/op\b`)
+	// benchRe matches a `go test -bench` result line. The -N suffix go
+	// test appends for GOMAXPROCS is stripped so gates stay host-agnostic.
+	benchRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+)\s+ns/op\b`)
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_fluid.json", "file holding GATE baseline lines")
+	maxRegress := flag.Float64("max-regress", 30, "allowed regression over baseline, percent")
+	flag.Parse()
+
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	gates, err := parseGates(bf)
+	bf.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(gates) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no GATE lines in %s\n", *baseline)
+		os.Exit(2)
+	}
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	failures := check(gates, results, *maxRegress)
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL %s\n", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(gates))
+	for name := range gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("benchgate: ok %-40s %12.0f ns/op (gate %12.0f ns/op +%g%%)\n",
+			name, median(results[name]), gates[name], *maxRegress)
+	}
+}
+
+// parseGates extracts GATE baselines from a benchmark log.
+func parseGates(r io.Reader) (map[string]float64, error) {
+	gates := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := gateRe.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bad GATE line %q", sc.Text())
+		}
+		gates[m[1]] = ns
+	}
+	return gates, sc.Err()
+}
+
+// parseBench collects ns/op samples per benchmark name from `go test
+// -bench` output (multiple -count runs yield multiple samples).
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	results := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchRe.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bench line %q", sc.Text())
+		}
+		results[m[1]] = append(results[m[1]], ns)
+	}
+	return results, sc.Err()
+}
+
+// check compares the median sample of every gated benchmark against its
+// baseline and returns one failure string per violation or missing gate.
+func check(gates map[string]float64, results map[string][]float64, maxRegress float64) []string {
+	names := make([]string, 0, len(gates))
+	for name := range gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		samples := results[name]
+		if len(samples) == 0 {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from input", name))
+			continue
+		}
+		got := median(samples)
+		limit := gates[name] * (1 + maxRegress/100)
+		if got > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds gate %.0f ns/op (+%g%% allowed = %.0f)",
+				name, got, gates[name], maxRegress, limit))
+		}
+	}
+	return failures
+}
+
+// median returns the middle sample (mean of the middle two for even n).
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

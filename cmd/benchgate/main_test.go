@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `// BENCH_fluid.json — fluid-engine baselines.
+// historical section that must NOT be parsed as a gate:
+// BenchmarkFluidEngine          6   173358849 ns/op  62715826 B/op
+//
+// GATE BenchmarkFluidAllocate/warm 53000 ns/op
+// GATE BenchmarkFluidEngine 33000000 ns/op
+`
+
+const sampleBench = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFluidAllocate/warm         	   23324	     52822 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFluidAllocate/warm-4       	   23324	     51000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFluidAllocate/cold         	   12439	    103103 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFluidEngine     	      33	  32918091 ns/op	 7633546 B/op	    3743 allocs/op
+PASS
+`
+
+func TestParseGatesSkipsHistoricalLines(t *testing.T) {
+	gates, err := parseGates(strings.NewReader(sampleBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 2 {
+		t.Fatalf("parsed %d gates, want 2: %v", len(gates), gates)
+	}
+	if gates["BenchmarkFluidAllocate/warm"] != 53000 {
+		t.Fatalf("warm gate = %v", gates["BenchmarkFluidAllocate/warm"])
+	}
+	if gates["BenchmarkFluidEngine"] != 33000000 {
+		t.Fatalf("engine gate = %v", gates["BenchmarkFluidEngine"])
+	}
+}
+
+func TestParseBenchStripsCPUSuffixAndCollectsSamples(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["BenchmarkFluidAllocate/warm"]; len(got) != 2 {
+		t.Fatalf("warm samples = %v, want both plain and -4 suffixed", got)
+	}
+	if got := results["BenchmarkFluidEngine"]; len(got) != 1 || got[0] != 32918091 {
+		t.Fatalf("engine samples = %v", got)
+	}
+}
+
+func TestCheckPassesWithinMargin(t *testing.T) {
+	gates := map[string]float64{"BenchmarkX": 100}
+	results := map[string][]float64{"BenchmarkX": {125}}
+	if f := check(gates, results, 30); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestCheckFailsPastMargin(t *testing.T) {
+	gates := map[string]float64{"BenchmarkX": 100}
+	results := map[string][]float64{"BenchmarkX": {131}}
+	f := check(gates, results, 30)
+	if len(f) != 1 || !strings.Contains(f[0], "exceeds gate") {
+		t.Fatalf("failures = %v, want one regression", f)
+	}
+}
+
+func TestCheckFailsOnMissingBenchmark(t *testing.T) {
+	gates := map[string]float64{"BenchmarkGone": 100}
+	f := check(gates, nil, 30)
+	if len(f) != 1 || !strings.Contains(f[0], "missing from input") {
+		t.Fatalf("failures = %v, want missing-benchmark failure", f)
+	}
+}
+
+func TestMedianOddAndEven(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}

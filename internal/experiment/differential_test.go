@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"sort"
+	"testing"
+
+	"rackfab/internal/fluid"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// TestFluidPacketRankOrder is the cross-model differential gate: the same
+// small scenario runs through the fluid engine and the packet engine, and
+// the completion-time RANK ORDER of the flows must agree. The two models
+// disagree on absolute numbers by design (the fluid engine has no frames,
+// queues, or FEC), but a geometric spread of flow sizes must finish in the
+// same relative order under both — the same coarse sanity E8's crossCheck
+// note applies at full experiment scale, pinned here as a unit test.
+func TestFluidPacketRankOrder(t *testing.T) {
+	// Distinct sizes a factor ~2 apart on distinct node pairs: large enough
+	// gaps that model differences (per-frame overheads, hop latencies)
+	// cannot reorder completions, light enough arrival spread that sharing
+	// stays mild — the regime the fluid approximation targets.
+	specs := []workload.FlowSpec{
+		{Src: 0, Dst: 5, Bytes: 100e3, At: 0, Label: "s100k"},
+		{Src: 3, Dst: 6, Bytes: 200e3, At: 20 * sim.Time(sim.Microsecond), Label: "s200k"},
+		{Src: 12, Dst: 9, Bytes: 400e3, At: 40 * sim.Time(sim.Microsecond), Label: "s400k"},
+		{Src: 15, Dst: 10, Bytes: 800e3, At: 10 * sim.Time(sim.Microsecond), Label: "s800k"},
+		{Src: 1, Dst: 13, Bytes: 1600e3, At: 30 * sim.Time(sim.Microsecond), Label: "s1600k"},
+		{Src: 7, Dst: 4, Bytes: 3200e3, At: 5 * sim.Time(sim.Microsecond), Label: "s3200k"},
+	}
+
+	g1 := topo.NewGrid(4, 4, topo.Options{})
+	fl, err := fluid.Run(fluid.Config{Graph: g1}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fl.Flows) != len(specs) {
+		t.Fatalf("fluid completed %d of %d flows", len(fl.Flows), len(specs))
+	}
+	fluidOrder := make([]string, 0, len(fl.Flows))
+	fluidEnd := make(map[string]sim.Time, len(fl.Flows))
+	for _, fr := range fl.Flows {
+		fluidEnd[fr.Spec.Label] = fr.Start.Add(fr.FCT)
+	}
+	for label := range fluidEnd {
+		fluidOrder = append(fluidOrder, label)
+	}
+	sort.Slice(fluidOrder, func(i, j int) bool {
+		return fluidEnd[fluidOrder[i]] < fluidEnd[fluidOrder[j]]
+	})
+
+	g2 := topo.NewGrid(4, 4, topo.Options{})
+	_, f, err := buildFabric(g2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := f.InjectFlows(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunUntilDone(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	packetEnd := make(map[string]sim.Time, len(flows))
+	packetOrder := make([]string, 0, len(flows))
+	for i, flw := range flows {
+		if !flw.Done() {
+			t.Fatalf("packet engine left flow %q unfinished", specs[i].Label)
+		}
+		packetEnd[specs[i].Label] = flw.Started().Add(flw.FCT())
+		packetOrder = append(packetOrder, specs[i].Label)
+	}
+	sort.Slice(packetOrder, func(i, j int) bool {
+		return packetEnd[packetOrder[i]] < packetEnd[packetOrder[j]]
+	})
+
+	for i := range fluidOrder {
+		if fluidOrder[i] != packetOrder[i] {
+			t.Fatalf("completion rank order diverged at position %d:\nfluid:  %v\npacket: %v",
+				i, fluidOrder, packetOrder)
+		}
+	}
+}

@@ -11,58 +11,98 @@ import (
 	"rackfab/internal/workload"
 )
 
-// ErrNoCompletedFlows reports a fluid/packet cross-check whose run finished
-// with zero completed flows — a mean FCT over such a run is 0/0, and the
-// NaN it used to produce would silently poison the table note.
-var ErrNoCompletedFlows = errors.New("experiment: cross-check completed no flows")
+// ErrNoCompletedFlows reports a fluid/packet run that finished with zero
+// completed flows — a mean FCT over such a run is 0/0, and the NaN it used
+// to produce would silently poison the table.
+var ErrNoCompletedFlows = errors.New("experiment: run completed no flows")
+
+// e8CrossSide is the grid side the fluid-vs-packet cross-check runs at.
+// The rung is explicit in the trial spec (crosscheck/16 in the sweep) so
+// the table says which scale the validation ladder was anchored at; the
+// packet engine bounds it to small fabrics.
+const e8CrossSide = 4
+
+// e8Cell is one E8 trial result: a scale rung (res+wall) or the
+// cross-check note's delta.
+type e8Cell struct {
+	res   *fluid.Result
+	wall  time.Duration
+	delta float64
+}
+
+// e8Rung runs one scale-sweep trial: the given workload on a kind×side²
+// fabric through the fluid engine. A run that completes no flows surfaces
+// ErrNoCompletedFlows tagged with the rung, from the 64-node rung to the
+// 4096-node one, instead of folding NaNs into the table.
+func e8Rung(kind string, side int, specs []workload.FlowSpec) (e8Cell, error) {
+	var g *topo.Graph
+	if kind == "grid" {
+		g = topo.NewGrid(side, side, topo.Options{})
+	} else {
+		g = topo.NewTorus(side, side, topo.Options{})
+	}
+	start := time.Now()
+	res, err := fluid.Run(fluid.Config{Graph: g}, specs)
+	if err != nil {
+		return e8Cell{}, err
+	}
+	if len(res.Flows) == 0 {
+		return e8Cell{}, fmt.Errorf("%s/%d: %w", kind, side*side, ErrNoCompletedFlows)
+	}
+	return e8Cell{res: res, wall: time.Since(start)}, nil
+}
 
 // E8 is the scale experiment: "rack-scale systems contain hundreds to
 // thousands of connected nodes". The fluid engine sweeps grid and torus
-// fabrics from 64 to 1024 nodes under a simultaneous random permutation —
+// fabrics from 64 to 4096 nodes under a simultaneous random permutation —
 // every node sends to a distinct partner, so every flow contends for the
-// bisection and topology (not load level) decides the outcome. A
-// cross-check note validates the fluid engine against the packet engine on
-// a small fabric (the paper's validated-small-sim → large-sim ladder, one
-// rung up from E7).
+// bisection and topology (not load level) decides the outcome. The
+// 4096-node (64×64) rung runs at Full scale only: one trial is seconds of
+// warm-start solver work, not CI material. A cross-check trial validates
+// the fluid engine against the packet engine on a small fabric (the
+// paper's validated-small-sim → large-sim ladder, one rung up from E7).
 func E8(cfg Config) (*Table, error) {
 	sides := []int{8, 16}
 	if cfg.Scale == Full {
-		sides = []int{8, 16, 32}
+		sides = []int{8, 16, 32, 64}
 	}
 
-	type cell struct {
-		res  *fluid.Result
-		wall time.Duration
-	}
 	kinds := []string{"grid", "torus"}
-	trials := make([]Trial[cell], 0, len(sides)*len(kinds))
+	trials := make([]Trial[e8Cell], 0, len(sides)*len(kinds)+1)
 	for _, side := range sides {
 		for _, kind := range kinds {
-			trials = append(trials, Trial[cell]{
+			side, kind := side, kind
+			trials = append(trials, Trial[e8Cell]{
 				Name: fmt.Sprintf("%s/%d", kind, side*side),
-				Run: func() (cell, error) {
+				Run: func() (e8Cell, error) {
 					// Regenerate the workload inside the trial from the same
 					// per-side seed: grid and torus see identical
 					// permutations without sharing a spec slice across
 					// concurrently running trials.
 					rng := sim.NewRNG(int64(side))
 					specs := workload.Permutation(rng, side*side, workload.Fixed(1e6))
-					var g *topo.Graph
-					if kind == "grid" {
-						g = topo.NewGrid(side, side, topo.Options{})
-					} else {
-						g = topo.NewTorus(side, side, topo.Options{})
-					}
-					start := time.Now()
-					res, err := fluid.Run(fluid.Config{Graph: g}, specs)
-					if err != nil {
-						return cell{}, err
-					}
-					return cell{res: res, wall: time.Since(start)}, nil
+					return e8Rung(kind, side, specs)
 				},
 			})
 		}
 	}
+	// Cross-check: fluid vs packet on the e8CrossSide² fabric with light
+	// load (the regime where the fluid approximation should be tight).
+	trials = append(trials, Trial[e8Cell]{
+		Name: fmt.Sprintf("crosscheck/%d", e8CrossSide*e8CrossSide),
+		Run: func() (e8Cell, error) {
+			rng := sim.NewRNG(99)
+			delta, err := crossCheck(e8CrossSide, workload.Uniform(rng, workload.UniformConfig{
+				Nodes: e8CrossSide * e8CrossSide, Flows: 12,
+				Size:             workload.Fixed(1e6),
+				MeanInterarrival: 400 * sim.Microsecond, // light: no sharing
+			}))
+			if err != nil {
+				return e8Cell{}, err
+			}
+			return e8Cell{delta: delta}, nil
+		},
+	})
 	cells, err := Sweep(cfg, trials)
 	if err != nil {
 		return nil, err
@@ -87,30 +127,20 @@ func E8(cfg Config) (*Table, error) {
 			)
 		}
 	}
-	// Cross-check: fluid vs packet on a small fabric with light load (the
-	// regime where the fluid approximation should be tight).
-	rng := sim.NewRNG(99)
-	delta, err := crossCheck(workload.Uniform(rng, workload.UniformConfig{
-		Nodes: 16, Flows: 12,
-		Size:             workload.Fixed(1e6),
-		MeanInterarrival: 400 * sim.Microsecond, // light: no sharing
-	}))
-	if err != nil {
-		return nil, err
-	}
-	t.AddNote("fluid-vs-packet mean-FCT delta on a 16-node grid cross-check: %.1f%%", delta)
+	t.AddNote("fluid-vs-packet mean-FCT delta on a %d-node grid cross-check: %.1f%%", e8CrossSide*e8CrossSide, cells[i].delta)
 	t.AddNote("wall (ms) is per-trial wall clock; with -parallel > 1 concurrent trials share cores,")
 	t.AddNote("so cells overstate solver cost — use -parallel 1 when quoting absolute wall numbers")
-	t.AddNote("torus wins mean FCT at every size (shorter paths, less sharing); at 1024 nodes the p99 tail")
+	t.AddNote("torus wins mean FCT at every size (shorter paths, less sharing); at 1024+ nodes the p99 tail")
 	t.AddNote("can invert under the fluid engine's single-path routing — the pathology the CRC's price-driven multi-path routing exists to fix")
 	return t, nil
 }
 
-// crossCheck runs the identical workload on both engines (a 4×4 grid) and
-// returns the mean-FCT percentage difference. A run that completes no flows
-// on either engine yields ErrNoCompletedFlows rather than a NaN delta.
-func crossCheck(specs []workload.FlowSpec) (float64, error) {
-	g1 := topo.NewGrid(4, 4, topo.Options{})
+// crossCheck runs the identical workload on both engines (a side×side grid)
+// and returns the mean-FCT percentage difference. A run that completes no
+// flows on either engine yields ErrNoCompletedFlows rather than a NaN
+// delta.
+func crossCheck(side int, specs []workload.FlowSpec) (float64, error) {
+	g1 := topo.NewGrid(side, side, topo.Options{})
 	fl, err := fluid.Run(fluid.Config{Graph: g1}, specs)
 	if err != nil {
 		return 0, err
@@ -118,7 +148,7 @@ func crossCheck(specs []workload.FlowSpec) (float64, error) {
 	if len(fl.Flows) == 0 {
 		return 0, fmt.Errorf("fluid engine: %w", ErrNoCompletedFlows)
 	}
-	g2 := topo.NewGrid(4, 4, topo.Options{})
+	g2 := topo.NewGrid(side, side, topo.Options{})
 	_, f, err := buildFabric(g2, 99)
 	if err != nil {
 		return 0, err

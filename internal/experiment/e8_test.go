@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -9,11 +11,40 @@ import (
 // over an empty workload must surface ErrNoCompletedFlows instead of
 // dividing by zero and folding NaN into the E8 table note.
 func TestCrossCheckNoFlows(t *testing.T) {
-	_, err := crossCheck(nil)
+	_, err := crossCheck(e8CrossSide, nil)
 	if err == nil {
 		t.Fatal("cross-check over zero flows returned no error")
 	}
 	if !errors.Is(err, ErrNoCompletedFlows) {
 		t.Fatalf("err = %v, want ErrNoCompletedFlows", err)
+	}
+}
+
+// TestE8RungNoFlowsGuard pins the per-rung guard at every sweep scale,
+// including the 4096-node (64×64) rung: a rung whose run completes no
+// flows must propagate ErrNoCompletedFlows — tagged with the rung — up
+// through the trial, not emit a NaN row. (The empty workload keeps the
+// 64×64 case cheap: the fluid engine builds its routing table lazily, so
+// a zero-spec run never pays the 4096-node all-pairs build.)
+func TestE8RungNoFlowsGuard(t *testing.T) {
+	for _, tc := range []struct {
+		kind string
+		side int
+	}{
+		{"grid", 8},
+		{"torus", 32},
+		{"grid", 64},
+	} {
+		_, err := e8Rung(tc.kind, tc.side, nil)
+		if err == nil {
+			t.Fatalf("%s/%d: no error for a zero-flow rung", tc.kind, tc.side*tc.side)
+		}
+		if !errors.Is(err, ErrNoCompletedFlows) {
+			t.Fatalf("%s/%d: err = %v, want ErrNoCompletedFlows", tc.kind, tc.side*tc.side, err)
+		}
+		want := fmt.Sprintf("%s/%d", tc.kind, tc.side*tc.side)
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name the rung %q", err, want)
+		}
 	}
 }

@@ -21,7 +21,7 @@ var registry = map[string]struct {
 	"e5":   {E5, "minimum flow size σ* for which reconfiguration pays"},
 	"e6":   {E6, "adaptive FEC across a BER sweep"},
 	"e7":   {E7, "small-scale sim vs NetFPGA-SUME-class PoC validation"},
-	"e8":   {E8, "scale sweep 64→1024 nodes on the fluid engine"},
+	"e8":   {E8, "scale sweep 64→4096 nodes on the fluid engine"},
 	"e9":   {E9, "adaptive FEC on a bursty (Gilbert–Elliott) channel"},
 	"a1":   {A1, "ablation: CRC price-weight terms under hotspot load"},
 	"a2":   {A2, "ablation: bypass express channels for elephants"},

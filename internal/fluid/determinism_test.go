@@ -48,9 +48,14 @@ func TestTiedCompletionOrderDeterministic(t *testing.T) {
 
 // TestShuffledInputFingerprint checks run-order independence: the same spec
 // multiset, handed to Run in any order, must produce a byte-identical
-// Result. The permutation workload (every arrival at t=0, identical sizes,
-// uniform capacities) maximizes both completion-time and bottleneck-share
-// ties, and the uniform workload adds staggered arrivals on top.
+// Result — on the warm-start path AND with warm start disabled, and the two
+// must agree with each other to the byte. The permutation workload (every
+// arrival at t=0, identical sizes, uniform capacities) maximizes both
+// completion-time and bottleneck-share ties; the uniform workload adds
+// staggered arrivals; and the churn workload staggers arrivals far enough
+// apart that completions interleave them, so warm refills constantly seed
+// from non-zero allocations — the arrival-into-drained-component and
+// completion-splits-component paths a t=0 burst never exercises.
 func TestShuffledInputFingerprint(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -61,6 +66,11 @@ func TestShuffledInputFingerprint(t *testing.T) {
 			Nodes: 36, Flows: 60,
 			Size:             workload.Fixed(500e3),
 			MeanInterarrival: 5 * sim.Microsecond,
+		})},
+		{"churn", workload.Uniform(sim.NewRNG(9), workload.UniformConfig{
+			Nodes: 36, Flows: 80,
+			Size:             workload.Pareto{Alpha: 1.5, MinBytes: 40e3, MaxBytes: 4e6},
+			MeanInterarrival: 40 * sim.Microsecond,
 		})},
 	}
 	for _, tc := range cases {
@@ -75,17 +85,26 @@ func TestShuffledInputFingerprint(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := fingerprint(base)
+			cold, err := Run(Config{Graph: g, coldStart: true}, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(cold); got != want {
+				t.Fatalf("cold start diverged from warm start:\n--- warm ---\n%s\n--- cold ---\n%s", want, got)
+			}
 			shuffled := append([]workload.FlowSpec(nil), specs...)
 			for trial := 0; trial < 4; trial++ {
 				rng.Shuffle(len(shuffled), func(i, j int) {
 					shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 				})
-				res, err := Run(Config{Graph: g}, shuffled)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if got := fingerprint(res); got != want {
-					t.Fatalf("shuffle %d changed the result:\n--- canonical ---\n%s\n--- shuffled ---\n%s", trial, want, got)
+				for _, coldStart := range []bool{false, true} {
+					res, err := Run(Config{Graph: g, coldStart: coldStart}, shuffled)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := fingerprint(res); got != want {
+						t.Fatalf("shuffle %d (coldStart=%v) changed the result:\n--- canonical ---\n%s\n--- shuffled ---\n%s", trial, coldStart, want, got)
+					}
 				}
 			}
 		})

@@ -42,6 +42,11 @@ type Config struct {
 	PerHopLatency sim.Duration
 	// Limit bounds simulated time (0 = none).
 	Limit sim.Time
+	// coldStart disables the warm-start replay so every event re-solves its
+	// component from zero. The two paths produce bit-identical allocations;
+	// the switch exists so in-package tests can prove it (and measure the
+	// cold cost). Deliberately unexported: callers never need it.
+	coldStart bool
 }
 
 // FlowResult is one completed flow.
@@ -107,6 +112,7 @@ func Run(cfg Config, specs []workload.FlowSpec) (*Result, error) {
 	}
 
 	en := newEngine(cfg.Graph, cfg.PerHopLatency)
+	en.cold = cfg.coldStart
 	if err := en.addFlows(canonicalize(specs)); err != nil {
 		return nil, fmt.Errorf("fluid: routing: %w", err)
 	}

@@ -2,6 +2,7 @@ package fluid
 
 import (
 	"math"
+	"slices"
 
 	"rackfab/internal/heapx"
 	"rackfab/internal/route"
@@ -25,6 +26,8 @@ type flowState struct {
 	settled   sim.Time // instant `remaining` was last brought up to date
 	finish    sim.Time // projected completion under `rate`
 	gen       uint32   // bumped on every rate change; stale doneHeap filter
+	seq       int64    // global freeze order; encodes the last fill's round chronology
+	fill      uint64   // ID of the fill that last froze this flow
 	active    bool
 }
 
@@ -42,6 +45,19 @@ func (f *flowState) settle(now sim.Time) {
 	}
 }
 
+// levelEntry is one oracle entry for the warm-start replay: a component
+// flow, the rate its last fill gave it, and its global freeze sequence
+// number. Entries sort by seq — the chronological round order of the fill
+// that assigned the rates — NOT by rate: a fill's round levels are almost
+// always ascending, but a floating-point share can dip below an earlier
+// level, and replaying the exact chronology keeps every per-link
+// subtraction order (and so every bit of state) faithful even then.
+type levelEntry struct {
+	rate float64
+	seq  int64
+	fid  int32
+}
+
 // engine is the indexed fluid solver. All state lives in flat slices keyed
 // by flow ID or link ID (topo Edge.Index); nothing on the hot path iterates
 // a Go map, so identical inputs produce byte-identical results.
@@ -49,6 +65,12 @@ type engine struct {
 	graph  *topo.Graph
 	table  *route.Table
 	perHop sim.Duration
+
+	// cold disables the warm-start replay so every refill runs progressive
+	// filling from zero. The two paths are bit-identical by construction
+	// (warmRounds falls back to coldRounds the moment a round deviates from
+	// the oracle); the flag exists so tests can prove it.
+	cold bool
 
 	flows       []flowState
 	activeCount int
@@ -67,19 +89,46 @@ type engine struct {
 	linkEpoch   []uint32
 	flowEpoch   []uint32
 	frozenEpoch []uint32
+	suspect     []uint32 // flows on the perturbed path this fill
 	capLeft     []float64
 	unfrozen    []int32
+	alive       []int32
 	compLinks   []int32
 	compFlows   []int32
-	alive       []int32
+	levels      []levelEntry // warm-start oracle, sorted by seq in warmRounds
+	passA       []int32      // scheduled flows cleared to freeze this round
+	zeroRates   int          // component flows with no previous rate
+
+	// Round-closure state: tied is the worklist of links at exactly the
+	// round's bottleneck share; tieStamp dedupes enqueues per round.
+	round    uint32
+	tieStamp []uint32
+	tied     []int32
+
+	// freezeSeq stamps flows in freeze order and fillSeq identifies the
+	// fill doing the stamping; dead permanently disables warm start after
+	// a defensive solver bail (see coldRounds), whose leftover stale
+	// sequence numbers the oracle must never trust.
+	freezeSeq int64
+	fillSeq   uint64
+	dead      bool
+
+	// oracleFill is the one fill that stamped every oracle entry of the
+	// current component, or 0 when the entries mix fills. A mixed component
+	// arises when an arrival bridges parts last solved by different fills:
+	// their chronologies never interleaved, so no sequence order reproduces
+	// the value order the scan loop would run the merged parts in, and the
+	// fill must go cold once to give the union a common chronology.
+	oracleFill uint64
 }
 
 // newEngine builds the indexed solver for one run. Link capacities are
 // snapshotted once: a fluid run never reconfigures the fabric mid-flight.
+// The routing table is built lazily by addFlows — a run over zero specs
+// (which guards probe for) never pays the O(n²) table build.
 func newEngine(g *topo.Graph, perHop sim.Duration) *engine {
 	en := &engine{
 		graph:  g,
-		table:  route.Build(g, route.UniformCost),
 		perHop: perHop,
 	}
 	nl := g.EdgeIndexBound()
@@ -89,6 +138,7 @@ func newEngine(g *topo.Graph, perHop sim.Duration) *engine {
 		en.linkCap[e.Index()] = e.Link.EffectiveRate()
 	}
 	en.linkEpoch = make([]uint32, nl)
+	en.tieStamp = make([]uint32, nl)
 	en.capLeft = make([]float64, nl)
 	en.unfrozen = make([]int32, nl)
 	return en
@@ -100,6 +150,10 @@ func (en *engine) addFlows(specs []workload.FlowSpec) error {
 	en.flows = make([]flowState, len(specs))
 	en.flowEpoch = make([]uint32, len(specs))
 	en.frozenEpoch = make([]uint32, len(specs))
+	en.suspect = make([]uint32, len(specs))
+	if len(specs) > 0 && en.table == nil {
+		en.table = route.Build(en.graph, route.UniformCost)
+	}
 	for i, spec := range specs {
 		path, err := en.table.Path(topo.NodeID(spec.Src), topo.NodeID(spec.Dst))
 		if err != nil {
@@ -126,7 +180,7 @@ func (en *engine) arrive(fid int32, now sim.Time) {
 	for _, li := range f.links {
 		en.linkFlows[li] = append(en.linkFlows[li], fid)
 	}
-	en.refill(now, f.links)
+	en.refill(now, f.links, fid)
 }
 
 // complete deactivates flow fid at `now`, re-solves the component it leaves
@@ -147,7 +201,7 @@ func (en *engine) complete(fid int32, now sim.Time) FlowResult {
 			}
 		}
 	}
-	en.refill(now, f.links)
+	en.refill(now, f.links, -1)
 	return FlowResult{
 		Spec:  f.spec,
 		Start: f.start,
@@ -157,18 +211,24 @@ func (en *engine) complete(fid int32, now sim.Time) FlowResult {
 }
 
 // component collects, into compLinks/compFlows, the connected component of
-// the link–flow sharing graph reachable from the seed links. Max-min
-// allocations decompose over these components: a perturbation on the seed
-// links can change rates only inside its component, so refill touches
-// nothing else.
+// the link–flow sharing graph reachable from the seed links, and resets
+// per-link fill state (capLeft, unfrozen) as it discovers each link.
+// Max-min allocations decompose over these components: a perturbation on
+// the seed links can change rates only inside its component, so refill
+// touches nothing else. On the warm path the flow-discovery loop also
+// banks the oracle — each flow's previous rate — while its state is hot.
 func (en *engine) component(seed []int32) {
 	en.epoch++
 	en.compLinks = en.compLinks[:0]
 	en.compFlows = en.compFlows[:0]
+	en.levels = en.levels[:0]
+	en.zeroRates = 0
 	for _, li := range seed {
 		if en.linkEpoch[li] != en.epoch {
 			en.linkEpoch[li] = en.epoch
 			en.compLinks = append(en.compLinks, li)
+			en.capLeft[li] = en.linkCap[li]
+			en.unfrozen[li] = int32(len(en.linkFlows[li]))
 		}
 	}
 	for i := 0; i < len(en.compLinks); i++ {
@@ -178,10 +238,22 @@ func (en *engine) component(seed []int32) {
 			}
 			en.flowEpoch[fid] = en.epoch
 			en.compFlows = append(en.compFlows, fid)
+			if f := &en.flows[fid]; f.rate > 0 {
+				if len(en.levels) == 0 {
+					en.oracleFill = f.fill
+				} else if f.fill != en.oracleFill {
+					en.oracleFill = 0
+				}
+				en.levels = append(en.levels, levelEntry{rate: f.rate, seq: f.seq, fid: fid})
+			} else {
+				en.zeroRates++
+			}
 			for _, lj := range en.flows[fid].links {
 				if en.linkEpoch[lj] != en.epoch {
 					en.linkEpoch[lj] = en.epoch
 					en.compLinks = append(en.compLinks, lj)
+					en.capLeft[lj] = en.linkCap[lj]
+					en.unfrozen[lj] = int32(len(en.linkFlows[lj]))
 				}
 			}
 		}
@@ -189,27 +261,45 @@ func (en *engine) component(seed []int32) {
 }
 
 // refill recomputes the max-min fair allocation of the component around the
-// seed links by progressive filling: each round finds the smallest fair
-// share (capacity per unfrozen flow) over the still-live component links by
-// a flat scan, then freezes the flows of every link currently sitting at
-// exactly that share. Link order is the BFS discovery order of component(),
-// a pure function of canonical flow IDs — no map iteration anywhere — so
-// freezing order, and with it every floating-point subtraction, is
-// deterministic. Symmetric fabrics make whole waves of links tie at the
-// bottleneck share, so a round typically retires many links at once and the
-// scan stays far cheaper than a priority queue under tie churn.
-func (en *engine) refill(now sim.Time, seed []int32) {
+// seed links by progressive filling. Each round fixes the smallest fair
+// share (capacity per unfrozen flow) over the still-live component links,
+// then freezes the round's closure: the worklist of links sitting at
+// exactly that share, grown one subtraction at a time as freezes pull more
+// links down to the level (see closeRound). Because every k-th subtraction
+// state of every link is observed, the closure — and with it every
+// floating-point operation of the fill — is independent of link visit
+// order: a pure function of component state.
+//
+// newcomer is the flow (≥ 0) whose arrival triggered this refill — the one
+// component flow with no previous rate. The warm path replays the previous
+// allocation as the round schedule and falls back to the scan loop the
+// moment the perturbation deviates from it; see warmRounds.
+func (en *engine) refill(now sim.Time, seed []int32, newcomer int32) {
 	en.component(seed)
+	remaining := len(en.compFlows)
+	if remaining == 0 {
+		return
+	}
+	en.fillSeq++
+	if en.cold || en.dead {
+		en.coldRounds(now, remaining)
+		return
+	}
+	en.warmRounds(now, seed, newcomer, remaining)
+}
+
+// coldRounds runs progressive-filling rounds from the current component
+// state until every component flow is frozen, finding each round's
+// bottleneck share by a flat scan of the live links. It is both the
+// from-zero solver (cold engine, warm fallback) and the semantics
+// warmRounds must reproduce bit-for-bit.
+func (en *engine) coldRounds(now sim.Time, remaining int) {
 	en.alive = en.alive[:0]
 	for _, li := range en.compLinks {
-		n := int32(len(en.linkFlows[li]))
-		en.capLeft[li] = en.linkCap[li]
-		en.unfrozen[li] = n
-		if n > 0 {
+		if en.unfrozen[li] > 0 {
 			en.alive = append(en.alive, li)
 		}
 	}
-	remaining := len(en.compFlows)
 	for remaining > 0 {
 		// Round: compact the live list and find the bottleneck share.
 		best := math.Inf(1)
@@ -227,32 +317,232 @@ func (en *engine) refill(now sim.Time, seed []int32) {
 		if len(en.alive) == 0 {
 			// Defensive only: every unfrozen component flow keeps each of its
 			// links' unfrozen counts positive, so a live link must exist while
-			// remaining > 0. Bail rather than spin if that invariant breaks.
+			// remaining > 0. Bail rather than spin if that invariant breaks —
+			// and retire the warm oracle: the unfrozen flows keep stale
+			// sequence numbers no future replay may trust.
+			en.dead = true
 			return
 		}
-		// Freeze the flows of every link still exactly at the bottleneck
-		// share. Freezing one link's flows raises (never lowers) the shares
-		// of the links they also cross, so re-checking at visit time is safe:
-		// a link knocked off the tie is simply deferred to a later round.
+		en.round++
+		en.tied = en.tied[:0]
 		for _, li := range en.alive {
-			if en.unfrozen[li] == 0 || en.capLeft[li]/float64(en.unfrozen[li]) != best {
-				continue
+			if en.capLeft[li]/float64(en.unfrozen[li]) == best {
+				en.tieStamp[li] = en.round
+				en.tied = append(en.tied, li)
 			}
-			for _, fid := range en.linkFlows[li] {
+		}
+		remaining = en.closeRound(now, best, remaining)
+	}
+}
+
+// closeRound freezes the round's closure at the bottleneck share: every
+// flow of every link in the tied worklist, which freeze itself grows —
+// symmetric fabrics keep whole waves of links at exactly the share as
+// their neighbors' flows freeze, so one round typically retires an entire
+// tie class and the scan loop runs far fewer rounds than tie churn would
+// suggest. Callers seed en.tied (and en.round) before the call; freeze
+// appends links that reach the share. Returns the updated unfrozen count.
+func (en *engine) closeRound(now sim.Time, best float64, remaining int) int {
+	for w := 0; w < len(en.tied); w++ {
+		li := en.tied[w]
+		for _, fid := range en.linkFlows[li] {
+			if en.frozenEpoch[fid] == en.epoch {
+				continue // frozen via an earlier link this round
+			}
+			en.frozenEpoch[fid] = en.epoch
+			remaining--
+			en.freeze(fid, now, best)
+		}
+	}
+	return remaining
+}
+
+// freeze fixes flow fid at the round's bottleneck share, subtracting it
+// from every link on the flow's path. After each subtraction the link's
+// new share is checked: exactly at the round's level, the link joins the
+// tied worklist — growing the round's closure one observed subtraction at
+// a time, which is what makes the closure independent of visit order. The
+// sequence stamp records the engine-wide freeze chronology the next warm
+// replay of this component will follow.
+func (en *engine) freeze(fid int32, now sim.Time, best float64) {
+	en.flows[fid].seq = en.freezeSeq
+	en.flows[fid].fill = en.fillSeq
+	en.freezeSeq++
+	for _, lj := range en.flows[fid].links {
+		en.unfrozen[lj]--
+		en.capLeft[lj] -= best
+		if en.capLeft[lj] < 0 {
+			en.capLeft[lj] = 0
+		}
+		if n := en.unfrozen[lj]; n > 0 && en.capLeft[lj]/float64(n) == best {
+			if en.tieStamp[lj] != en.round {
+				en.tieStamp[lj] = en.round
+				en.tied = append(en.tied, lj)
+			}
+		}
+	}
+	en.setRate(fid, now, best)
+}
+
+// warmRounds re-solves the component seeded from its previous allocation.
+//
+// Between two fills that touch a link nothing about that link changes, so
+// at refill time every component link except the seed path carries exactly
+// the flow set and rates its own last fill left behind. Those old rates
+// ARE the old round schedule: sorted ascending they give the former
+// bottleneck levels, and the flows at each level the former freeze sets.
+// The replay walks that schedule with the same closure machinery as
+// coldRounds, skipping the per-round scan of every live component link:
+//
+//   - links off the seed path ("clean") evolve exactly as in their own
+//     last fill while rounds match, so the minimum share over them is the
+//     next old level and a scheduled flow touching no seed link freezes at
+//     its old rate unconditionally — no verification needed;
+//   - seed links are perturbed (a flow arrived on or departed from them),
+//     so they are checked explicitly each round: their live minimum can
+//     undercut the schedule (then the round is seed-led) and flows on them
+//     ("suspects") may have lost their old bottleneck, so a suspect only
+//     freezes when one of its links actually sits at the level;
+//   - the newcomer has no old rate and crosses only seed links; it freezes
+//     whenever a seed link carrying it reaches the round's level — the one
+//     off-schedule freeze the replay absorbs, since it perturbs no clean
+//     link's trajectory.
+//
+// Any other deviation — a foreign flow dragged into a round's closure, a
+// scheduled flow left unfrozen by it, a share dipping below the level —
+// means the old schedule is dead. The closure still completes (its freeze
+// set is order-free, so the state stays exactly what coldRounds would have
+// reached at the round boundary) and the rest of the fill runs through the
+// coldRounds scan loop. Warm and cold therefore produce identical
+// allocations to the last bit — the fuzz and determinism tests hold both
+// paths to that.
+func (en *engine) warmRounds(now sim.Time, seed []int32, newcomer int32, remaining int) {
+	if en.zeroRates > 1 || (en.zeroRates == 1 && newcomer < 0) || en.oracleFill == 0 {
+		// A flow with no previous rate that isn't the newcomer (a starved
+		// corner the schedule can't speak for), or oracle entries stamped
+		// by different fills (a merge with no common chronology).
+		en.coldRounds(now, remaining)
+		return
+	}
+	lv := en.levels
+	slices.SortFunc(lv, func(a, b levelEntry) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	// Suspects: flows crossing a seed link. Everything else in the schedule
+	// freezes at its old rate without per-flow checks.
+	for _, li := range seed {
+		for _, fid := range en.linkFlows[li] {
+			en.suspect[fid] = en.epoch
+		}
+	}
+
+	i := 0
+	for remaining > 0 {
+		dirtyMin := math.Inf(1)
+		for _, li := range seed {
+			if en.unfrozen[li] > 0 {
+				if s := en.capLeft[li] / float64(en.unfrozen[li]); s < dirtyMin {
+					dirtyMin = s
+				}
+			}
+		}
+		next := math.Inf(1)
+		if i < len(lv) {
+			next = lv[i].rate
+		}
+		b := next
+		if dirtyMin < b {
+			b = dirtyMin
+		}
+		if math.IsInf(b, 1) {
+			// No scheduled level and no live seed link, yet flows remain:
+			// hand the stragglers to the scan loop.
+			en.coldRounds(now, remaining)
+			return
+		}
+		en.round++
+		en.tied = en.tied[:0]
+		offSchedule := false
+		// Seed the closure with the seed links at the level; a seed-led
+		// round (dirtyMin < next) starts from them alone.
+		for _, li := range seed {
+			if en.unfrozen[li] > 0 && en.tieStamp[li] != en.round &&
+				en.capLeft[li]/float64(en.unfrozen[li]) == b {
+				en.tieStamp[li] = en.round
+				en.tied = append(en.tied, li)
+			}
+		}
+		j := i
+		if b == next {
+			for j < len(lv) && lv[j].rate == b {
+				j++
+			}
+			// Decide every scheduled flow against round-START state before
+			// any freeze mutates it — coldRounds collects its tied set the
+			// same way. A suspect lost its old bottleneck if no link of its
+			// sits at the level now; it may still join the closure later.
+			en.passA = en.passA[:0]
+			for k := i; k < j; k++ {
+				fid := lv[k].fid
+				if en.suspect[fid] == en.epoch {
+					tied := false
+					for _, li := range en.flows[fid].links {
+						if en.capLeft[li]/float64(en.unfrozen[li]) == b {
+							tied = true
+							break
+						}
+					}
+					if !tied {
+						continue
+					}
+				}
+				en.passA = append(en.passA, fid)
+			}
+			for _, fid := range en.passA {
 				if en.frozenEpoch[fid] == en.epoch {
-					continue // frozen via an earlier link this fill
+					continue // already caught by this round's seed links
 				}
 				en.frozenEpoch[fid] = en.epoch
 				remaining--
-				for _, lj := range en.flows[fid].links {
-					en.unfrozen[lj]--
-					en.capLeft[lj] -= best
-					if en.capLeft[lj] < 0 {
-						en.capLeft[lj] = 0
-					}
-				}
-				en.setRate(fid, now, best)
+				en.freeze(fid, now, b)
 			}
+		}
+		// Drain the closure: every flow of every link at the level freezes.
+		// Flows the schedule didn't put here are either the newcomer
+		// (absorbed) or evidence the schedule is dead (finish the round —
+		// its freeze set is what coldRounds would do regardless — then
+		// fall back).
+		for w := 0; w < len(en.tied); w++ {
+			li := en.tied[w]
+			for _, fid := range en.linkFlows[li] {
+				if en.frozenEpoch[fid] == en.epoch {
+					continue
+				}
+				if fid != newcomer && en.flows[fid].rate != b {
+					offSchedule = true
+				}
+				en.frozenEpoch[fid] = en.epoch
+				remaining--
+				en.freeze(fid, now, b)
+			}
+		}
+		if b == next {
+			// Scheduled flows the closure never reached freeze later under
+			// cold — the schedule is dead past this round.
+			for k := i; k < j; k++ {
+				if en.frozenEpoch[lv[k].fid] != en.epoch {
+					offSchedule = true
+					break
+				}
+			}
+			i = j
+		}
+		if offSchedule {
+			en.coldRounds(now, remaining)
+			return
 		}
 	}
 }
@@ -318,4 +608,3 @@ func (e doneEntry) Before(other doneEntry) bool {
 	}
 	return e.fid < other.fid
 }
-

@@ -115,6 +115,96 @@ func TestMaxMinInvariantProperty(t *testing.T) {
 	}
 }
 
+// churnEngines drives a warm and a cold engine through the identical random
+// interleaving of arrivals and completions, calling check after every event.
+// The interleaving deliberately drains and regrows components, so warm
+// refills seed from non-zero previous allocations — arrivals into partially
+// frozen neighborhoods, completions that split components — not just the
+// monotone growth of a t=0 burst.
+func churnEngines(t *testing.T, g *topo.Graph, specs []workload.FlowSpec, rng *sim.RNG, check func(warm, cold *engine)) {
+	t.Helper()
+	specs = canonicalize(specs)
+	warm := newEngine(g, 450*sim.Nanosecond)
+	cold := newEngine(g, 450*sim.Nanosecond)
+	cold.cold = true
+	if err := warm.addFlows(specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.addFlows(specs); err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	arrived := 0
+	for arrived < len(specs) || warm.activeCount > 0 {
+		// Bias toward arrivals while any remain, but complete often enough
+		// that components shrink, split, and regrow mid-run.
+		doArrive := arrived < len(specs) && (warm.activeCount == 0 || rng.Intn(3) != 0)
+		now = now.Add(sim.Microsecond)
+		if doArrive {
+			warm.arrive(int32(arrived), now)
+			cold.arrive(int32(arrived), now)
+			arrived++
+		} else {
+			wt, wid := warm.nextDone()
+			ct, cid := cold.nextDone()
+			if wt != ct || wid != cid {
+				t.Fatalf("completion schedules diverged: warm (%v, %d) vs cold (%v, %d)", wt, wid, ct, cid)
+			}
+			if wid < 0 {
+				t.Fatalf("active flows but no projected completion at %v", now)
+			}
+			if wt > now {
+				now = wt
+			}
+			warm.complete(wid, now)
+			cold.complete(cid, now)
+		}
+		check(warm, cold)
+	}
+}
+
+// TestWarmStartMatchesColdUnderChurn is the warm-start gate: after every
+// arrival and completion of a random interleaved schedule, the warm engine's
+// full rate vector must equal the cold engine's bit-for-bit, and both must
+// satisfy the max-min certificate. This is the property FuzzSolverMaxMin
+// explores further; the quick.Check here pins a broad deterministic sample
+// of it into the ordinary test run.
+func TestWarmStartMatchesColdUnderChurn(t *testing.T) {
+	prop := func(seed int64, sideRaw, flowsRaw uint8) bool {
+		side := 3 + int(sideRaw)%3
+		n := side * side
+		flows := 4 + int(flowsRaw)%40
+		rng := sim.NewRNG(seed)
+		specs := make([]workload.FlowSpec, 0, flows)
+		for len(specs) < flows {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			specs = append(specs, workload.FlowSpec{
+				Src: src, Dst: dst,
+				Bytes: 100e3 + int64(rng.Intn(4))*450e3,
+			})
+		}
+		g := topo.NewTorus(side, side, topo.Options{})
+		events := 0
+		churnEngines(t, g, specs, rng, func(warm, cold *engine) {
+			events++
+			for fid := range warm.flows {
+				w, c := warm.flows[fid].rate, cold.flows[fid].rate
+				if w != c {
+					t.Fatalf("event %d: flow %d warm rate %g != cold rate %g", events, fid, w, c)
+				}
+			}
+			checkMaxMin(t, warm)
+		})
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestP99Convention pins summarize's P99 to the nearest-rank convention
 // telemetry.Histogram.Quantile uses: the ceil(0.99·n)-th smallest sample.
 // The two disagreed at small n — (n-1)·99/100 picks the 11th of 12 samples
@@ -143,16 +233,26 @@ func TestP99Convention(t *testing.T) {
 // BenchmarkFluidAllocate measures one incremental re-solve in isolation: a
 // 256-node torus with a full permutation active, re-filling the component
 // around one flow's path per iteration (the exact work an arrival or
-// completion triggers).
+// completion triggers). The warm arm is the default engine — the steady
+// state where the previous allocation replays as an oracle — and the cold
+// arm forces the from-zero progressive fill for comparison.
 func BenchmarkFluidAllocate(b *testing.B) {
-	g := topo.NewTorus(16, 16, topo.Options{})
-	rng := sim.NewRNG(3)
-	specs := workload.Permutation(rng, 256, workload.Fixed(1e6))
-	en := activeEngine(b, g, specs)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f := &en.flows[i%len(en.flows)]
-		en.refill(0, f.links)
+	for _, arm := range []struct {
+		name string
+		cold bool
+	}{{"warm", false}, {"cold", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			g := topo.NewTorus(16, 16, topo.Options{})
+			rng := sim.NewRNG(3)
+			specs := workload.Permutation(rng, 256, workload.Fixed(1e6))
+			en := activeEngine(b, g, specs)
+			en.cold = arm.cold
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := &en.flows[i%len(en.flows)]
+				en.refill(0, f.links, -1)
+			}
+		})
 	}
 }
