@@ -23,10 +23,11 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the table(s) as CSV to this path")
 	plotFlag := flag.Bool("plot", false, "render figures as ASCII charts where available")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials: 0 = one per CPU, 1 = sequential; results are identical at any setting")
+	expFlag := flag.String("experiment", "", "experiment ID to run (equivalent to the positional form)")
 	flag.Usage = usage
 	flag.Parse()
 
-	if flag.NArg() < 1 {
+	if flag.NArg() < 1 && *expFlag == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -42,10 +43,18 @@ func main() {
 	}
 	cfg := experiment.Config{Scale: scale, Parallel: *parallel}
 
-	arg := flag.Arg(0)
+	// -experiment overrides the positional form; its sub-arguments are
+	// whatever positionals remain (all of them — none was consumed as the
+	// experiment ID).
+	arg := *expFlag
+	rest := flag.Args()
+	if arg == "" {
+		arg = flag.Arg(0)
+		rest = flag.Args()[1:]
+	}
 	switch arg {
 	case "sim":
-		if err := runSim(flag.Args()[1:]); err != nil {
+		if err := runSim(rest); err != nil {
 			fmt.Fprintf(os.Stderr, "rackfab: sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -109,6 +118,7 @@ func runOne(id string, cfg experiment.Config, csvPath string, plot bool) error {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: rackfab [-scale quick|full] [-parallel N] [-csv path] <experiment|list|all>
+       rackfab -experiment <id> [flags]
        rackfab sim [-topo grid] [-width 4] [-height 4] [-workload uniform] …
 
 -parallel N fans an experiment's independent trials over N workers

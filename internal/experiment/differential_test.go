@@ -4,6 +4,7 @@ import (
 	"sort"
 	"testing"
 
+	"rackfab/internal/faults"
 	"rackfab/internal/fluid"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
@@ -79,6 +80,113 @@ func TestFluidPacketRankOrder(t *testing.T) {
 	for i := range fluidOrder {
 		if fluidOrder[i] != packetOrder[i] {
 			t.Fatalf("completion rank order diverged at position %d:\nfluid:  %v\npacket: %v",
+				i, fluidOrder, packetOrder)
+		}
+	}
+}
+
+// TestFluidPacketRankOrderUnderFlap is the fault-schedule extension of the
+// differential gate: a heavier mix (eight flows, geometric ×2 sizes, more
+// path sharing) runs through both engines WHILE a central link flaps —
+// down mid-traffic, restored later. The fluid side takes the flap as a
+// faults.Schedule through Config.Faults (capacity → 0, reroute, repair);
+// the packet side takes the exact same flap as scheduled engine events
+// that administratively disable the edge and rebuild routes, the oracle
+// version of what the CRC's re-pricing loop does. The two models disagree
+// on absolute numbers by design, but the ×2 size spread must keep the
+// completion rank order identical through the churn.
+func TestFluidPacketRankOrderUnderFlap(t *testing.T) {
+	specs := []workload.FlowSpec{
+		{Src: 0, Dst: 5, Bytes: 50e3, At: 0, Label: "s50k"},
+		{Src: 3, Dst: 6, Bytes: 100e3, At: 20 * sim.Time(sim.Microsecond), Label: "s100k"},
+		{Src: 12, Dst: 9, Bytes: 200e3, At: 40 * sim.Time(sim.Microsecond), Label: "s200k"},
+		{Src: 15, Dst: 10, Bytes: 400e3, At: 10 * sim.Time(sim.Microsecond), Label: "s400k"},
+		{Src: 1, Dst: 13, Bytes: 800e3, At: 30 * sim.Time(sim.Microsecond), Label: "s800k"},
+		{Src: 7, Dst: 4, Bytes: 1600e3, At: 5 * sim.Time(sim.Microsecond), Label: "s1600k"},
+		{Src: 2, Dst: 14, Bytes: 3200e3, At: 15 * sim.Time(sim.Microsecond), Label: "s3200k"},
+		{Src: 8, Dst: 11, Bytes: 6400e3, At: 25 * sim.Time(sim.Microsecond), Label: "s6400k"},
+	}
+	const (
+		downAt = 30 * sim.Time(sim.Microsecond)
+		upAt   = 250 * sim.Time(sim.Microsecond)
+	)
+
+	// Fluid side: the flap as a fault schedule.
+	g1 := topo.NewGrid(4, 4, topo.Options{})
+	flapEdge, ok := g1.EdgeBetween(9, 10) // on the 6400k flow 8→11 row path
+	if !ok {
+		t.Fatal("missing central edge 9-10")
+	}
+	sched := faults.New(
+		faults.Event{At: downAt, Target: flapEdge.Index(), Kind: faults.LinkDown},
+		faults.Event{At: upAt, Target: flapEdge.Index(), Kind: faults.LinkUp},
+	)
+	fl, err := fluid.Run(fluid.Config{Graph: g1, Faults: sched}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fl.Flows) != len(specs) {
+		t.Fatalf("fluid completed %d of %d flows", len(fl.Flows), len(specs))
+	}
+	if fl.Faults.CapacityEvents != 2 {
+		t.Fatalf("fluid applied %d capacity events, want 2", fl.Faults.CapacityEvents)
+	}
+	if fl.Faults.Reroutes == 0 {
+		t.Fatal("the flap touched no flow — the scenario is inert, move the flap edge")
+	}
+	fluidEnd := make(map[string]sim.Time, len(fl.Flows))
+	for _, fr := range fl.Flows {
+		fluidEnd[fr.Spec.Label] = fr.Start.Add(fr.FCT)
+	}
+	fluidOrder := make([]string, 0, len(fl.Flows))
+	for label := range fluidEnd {
+		fluidOrder = append(fluidOrder, label)
+	}
+	sort.Slice(fluidOrder, func(i, j int) bool {
+		return fluidEnd[fluidOrder[i]] < fluidEnd[fluidOrder[j]]
+	})
+
+	// Packet side: the same flap as scheduled control-plane events.
+	g2 := topo.NewGrid(4, 4, topo.Options{})
+	eng, f, err := buildFabric(g2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, ok := g2.EdgeBetween(9, 10)
+	if !ok {
+		t.Fatal("missing central edge 9-10 on packet graph")
+	}
+	eng.At(downAt, "flap-down", func() {
+		e2.SetEnabled(false)
+		f.RebuildRoutes(nil)
+	})
+	eng.At(upAt, "flap-up", func() {
+		e2.SetEnabled(true)
+		f.RebuildRoutes(nil)
+	})
+	flows, err := f.InjectFlows(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunUntilDone(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	packetEnd := make(map[string]sim.Time, len(flows))
+	packetOrder := make([]string, 0, len(flows))
+	for i, flw := range flows {
+		if !flw.Done() {
+			t.Fatalf("packet engine left flow %q unfinished", specs[i].Label)
+		}
+		packetEnd[specs[i].Label] = flw.Started().Add(flw.FCT())
+		packetOrder = append(packetOrder, specs[i].Label)
+	}
+	sort.Slice(packetOrder, func(i, j int) bool {
+		return packetEnd[packetOrder[i]] < packetEnd[packetOrder[j]]
+	})
+
+	for i := range fluidOrder {
+		if fluidOrder[i] != packetOrder[i] {
+			t.Fatalf("completion rank order diverged at position %d through the flap:\nfluid:  %v\npacket: %v",
 				i, fluidOrder, packetOrder)
 		}
 	}

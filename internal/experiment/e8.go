@@ -110,7 +110,7 @@ func E8(cfg Config) (*Table, error) {
 
 	t := &Table{
 		Title:   "E8 — scale sweep (fluid engine): random permutation on grid vs torus",
-		Columns: []string{"nodes", "topology", "mean FCT (us)", "p99 FCT (us)", "JCT (ms)", "events", "wall (ms)"},
+		Columns: []string{"nodes", "topology", "mean FCT (us)", "p99 FCT (us)", "JCT (ms)", "events", "warm fills (%)", "wall (ms)"},
 	}
 	// Wall time is real elapsed time: reproducible in shape, not in bytes.
 	t.MarkVolatile("wall (ms)")
@@ -123,6 +123,7 @@ func E8(cfg Config) (*Table, error) {
 				fmt.Sprintf("%d", side*side), kind,
 				us(c.res.MeanFCT), us(c.res.P99FCT), ms(c.res.JCT),
 				fmt.Sprintf("%d", c.res.Events),
+				fmt.Sprintf("%.1f", c.res.Solver.WarmHitPct()),
 				fmt.Sprintf("%d", c.wall.Milliseconds()),
 			)
 		}

@@ -23,6 +23,7 @@ var registry = map[string]struct {
 	"e7":   {E7, "small-scale sim vs NetFPGA-SUME-class PoC validation"},
 	"e8":   {E8, "scale sweep 64→4096 nodes on the fluid engine"},
 	"e9":   {E9, "adaptive FEC on a bursty (Gilbert–Elliott) channel"},
+	"e10":  {E10, "churn: degradation + recovery under Poisson link flaps and node loss"},
 	"a1":   {A1, "ablation: CRC price-weight terms under hotspot load"},
 	"a2":   {A2, "ablation: bypass express channels for elephants"},
 	"a3":   {A3, "ablation: shortest-path vs VLB vs CRC adaptive routing"},

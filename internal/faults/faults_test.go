@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+)
+
+func us(n int64) sim.Time { return sim.Time(n) * sim.Time(sim.Microsecond) }
+
+// TestScheduleSortStable: events sort by time; same-instant events keep
+// the author's order, so a down+node-loss collision is under the author's
+// control.
+func TestScheduleSortStable(t *testing.T) {
+	s := New(
+		Event{At: us(20), Target: 3, Kind: LinkUp},
+		Event{At: us(10), Target: 7, Kind: NodeDown},
+		Event{At: us(10), Target: 3, Kind: LinkDown},
+		Event{At: us(5), Target: 1, Kind: Degrade, Frac: 0.5},
+	)
+	got := s.Events()
+	want := []Event{
+		{At: us(5), Target: 1, Kind: Degrade, Frac: 0.5},
+		{At: us(10), Target: 7, Kind: NodeDown},
+		{At: us(10), Target: 3, Kind: LinkDown},
+		{At: us(20), Target: 3, Kind: LinkUp},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestValidateRejectsBadEvents pins the validation surface: out-of-range
+// targets, out-of-range degrade fractions, negative times.
+func TestValidateRejectsBadEvents(t *testing.T) {
+	g := topo.NewGrid(3, 3, topo.Options{})
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"edge out of range", Event{At: 0, Target: g.EdgeIndexBound(), Kind: LinkDown}},
+		{"negative edge", Event{At: 0, Target: -1, Kind: LinkUp}},
+		{"node out of range", Event{At: 0, Target: 9, Kind: NodeDown}},
+		{"degrade frac zero", Event{At: 0, Target: 0, Kind: Degrade, Frac: 0}},
+		{"degrade frac one", Event{At: 0, Target: 0, Kind: Degrade, Frac: 1}},
+		{"negative time", Event{At: -1, Target: 0, Kind: LinkDown}},
+		{"unknown kind", Event{At: 0, Target: 0, Kind: Kind(99)}},
+	}
+	for _, tc := range cases {
+		if err := New(tc.ev).Validate(g); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.ev)
+		}
+	}
+	ok := New(
+		Event{At: us(1), Target: 0, Kind: LinkDown},
+		Event{At: us(2), Target: 0, Kind: LinkUp},
+		Event{At: us(3), Target: 1, Kind: Degrade, Frac: 0.25},
+		Event{At: us(4), Target: 4, Kind: NodeDown},
+	)
+	if err := ok.Validate(g); err != nil {
+		t.Fatalf("Validate rejected a good schedule: %v", err)
+	}
+}
+
+// TestLinksLowersNodeEvents: node loss expands to one capacity event per
+// incident edge, in ascending edge-index order, and link events map to
+// the factor the engines consume (0 down, 1 up, frac degrade).
+func TestLinksLowersNodeEvents(t *testing.T) {
+	g := topo.NewGrid(3, 3, topo.Options{})
+	center := g.NodeAt(1, 1) // 4 incident edges
+	s := New(
+		Event{At: us(1), Target: 2, Kind: Degrade, Frac: 0.5},
+		Event{At: us(2), Target: int(center), Kind: NodeDown},
+		Event{At: us(3), Target: int(center), Kind: NodeUp},
+	)
+	evs, err := s.Links(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1+4+4 {
+		t.Fatalf("lowered to %d events, want 9: %+v", len(evs), evs)
+	}
+	if evs[0] != (LinkEvent{At: us(1), Edge: 2, Factor: 0.5}) {
+		t.Fatalf("degrade lowered to %+v", evs[0])
+	}
+	wantEdges := make([]int, 0, 4)
+	for _, e := range g.Adjacent(center) {
+		wantEdges = append(wantEdges, e.Index())
+	}
+	for i := 0; i < 4; i++ {
+		down, up := evs[1+i], evs[5+i]
+		if down.Factor != 0 || down.At != us(2) {
+			t.Fatalf("node-down event %d = %+v", i, down)
+		}
+		if up.Factor != 1 || up.At != us(3) {
+			t.Fatalf("node-up event %d = %+v", i, up)
+		}
+		if down.Edge != up.Edge {
+			t.Fatalf("down/up edge mismatch at %d: %d vs %d", i, down.Edge, up.Edge)
+		}
+		if i > 0 && evs[i].Edge >= evs[i+1].Edge {
+			t.Fatalf("node expansion not in ascending edge order: %+v", evs[1:5])
+		}
+		found := false
+		for _, we := range wantEdges {
+			if we == down.Edge {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("event edge %d not incident to node %d", down.Edge, center)
+		}
+	}
+}
+
+// TestPoissonFlapsDeterministicAndPaired: same seed → byte-identical
+// schedule; every LinkDown has exactly one LinkUp strictly after it on the
+// same edge, and pulses never overlap on one edge.
+func TestPoissonFlapsDeterministicAndPaired(t *testing.T) {
+	g := topo.NewTorus(4, 4, topo.Options{})
+	cfg := FlapConfig{Flaps: 12, Start: us(5), MeanGap: 20 * sim.Microsecond, MeanOutage: 30 * sim.Microsecond}
+	a := PoissonFlaps(sim.NewRNG(42), g, cfg)
+	b := PoissonFlaps(sim.NewRNG(42), g, cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s---\n%s", a, b)
+	}
+	if c := PoissonFlaps(sim.NewRNG(43), g, cfg); c.String() == a.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	open := map[int]sim.Time{}
+	downs, ups := 0, 0
+	for _, e := range a.Events() {
+		switch e.Kind {
+		case LinkDown:
+			downs++
+			if at, busy := open[e.Target]; busy {
+				t.Fatalf("edge %d downed at %v while already down since %v", e.Target, e.At, at)
+			}
+			open[e.Target] = e.At
+		case LinkUp:
+			ups++
+			at, busy := open[e.Target]
+			if !busy {
+				t.Fatalf("edge %d restored at %v without an outage", e.Target, e.At)
+			}
+			if e.At <= at {
+				t.Fatalf("edge %d restored at %v, not after its down at %v", e.Target, e.At, at)
+			}
+			delete(open, e.Target)
+		default:
+			t.Fatalf("unexpected kind in flap schedule: %v", e)
+		}
+	}
+	if len(open) != 0 {
+		t.Fatalf("%d outages never healed: %v", len(open), open)
+	}
+	if downs != ups || downs == 0 {
+		t.Fatalf("downs=%d ups=%d, want equal and positive", downs, ups)
+	}
+	if !strings.Contains(a.String(), "link-down") {
+		t.Fatalf("String missing kind names:\n%s", a)
+	}
+}

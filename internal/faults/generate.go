@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+)
+
+// FlapConfig parameterizes the Poisson link-flap generator.
+type FlapConfig struct {
+	// Flaps is the number of down/up pulses to generate.
+	Flaps int
+	// Start is the earliest instant the first flap may land.
+	Start sim.Time
+	// MeanGap is the exponential mean between successive flap onsets —
+	// flap onsets form a Poisson process of rate 1/MeanGap.
+	MeanGap sim.Duration
+	// MeanOutage is the exponential mean outage duration (floored at one
+	// picosecond so LinkUp always lands strictly after its LinkDown).
+	MeanOutage sim.Duration
+}
+
+// PoissonFlaps generates a schedule of cfg.Flaps link flaps: onsets arrive
+// as a Poisson process from cfg.Start, each picks a uniformly random edge
+// and downs it for an exponential outage. An edge already mid-outage is
+// redrawn (bounded rejection) so pulses never overlap on one link and
+// every LinkDown is matched by exactly one later LinkUp. The result is a
+// pure function of the RNG stream, the topology, and the config —
+// replaying the same seed replays the same churn byte-for-byte.
+func PoissonFlaps(rng *sim.RNG, g *topo.Graph, cfg FlapConfig) *Schedule {
+	edges := g.Edges()
+	if cfg.Flaps <= 0 || len(edges) == 0 {
+		return New()
+	}
+	if cfg.MeanGap <= 0 {
+		cfg.MeanGap = sim.Millisecond
+	}
+	if cfg.MeanOutage <= 0 {
+		cfg.MeanOutage = sim.Millisecond
+	}
+	upAt := make(map[int]sim.Time, cfg.Flaps)
+	events := make([]Event, 0, 2*cfg.Flaps)
+	t := cfg.Start
+	for i := 0; i < cfg.Flaps; i++ {
+		t = t.Add(rng.ExpDuration(cfg.MeanGap))
+		idx := -1
+		for try := 0; try < len(edges); try++ {
+			cand := edges[rng.Intn(len(edges))].Index()
+			if end, busy := upAt[cand]; !busy || end <= t {
+				idx = cand
+				break
+			}
+		}
+		if idx < 0 {
+			continue // every drawn edge mid-outage; skip this pulse
+		}
+		end := t.Add(rng.ExpDuration(cfg.MeanOutage))
+		upAt[idx] = end
+		events = append(events,
+			Event{At: t, Target: idx, Kind: LinkDown},
+			Event{At: end, Target: idx, Kind: LinkUp},
+		)
+	}
+	return New(events...)
+}

@@ -1,0 +1,229 @@
+package fluid
+
+import (
+	"strings"
+	"testing"
+
+	"rackfab/internal/faults"
+	"rackfab/internal/sim"
+	"rackfab/internal/telemetry"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// edgeBetween resolves the stable index of the construction edge a–b.
+func edgeBetween(t *testing.T, g *topo.Graph, a, b topo.NodeID) int {
+	t.Helper()
+	e, ok := g.EdgeBetween(a, b)
+	if !ok {
+		t.Fatalf("no edge %d-%d", a, b)
+	}
+	return e.Index()
+}
+
+// TestLinkDownReroutesFlow: a flow on a 3×3 grid loses a link on its path
+// mid-flight while an alternative exists, so it must reroute (not starve)
+// and still complete; warm and cold runs agree to the byte under the fault.
+func TestLinkDownReroutesFlow(t *testing.T) {
+	g := topo.NewGrid(3, 3, topo.Options{})
+	specs := []workload.FlowSpec{{Src: 0, Dst: 2, Bytes: 10e6}}
+	base, err := Run(Config{Graph: g}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first hop of the only active path at 10% of the baseline
+	// FCT; never restore. The grid offers detours, so the flow reroutes.
+	li := edgeBetween(t, g, 0, 1)
+	at := sim.Time(base.Flows[0].FCT / 10)
+	sched := faults.New(faults.Event{At: at, Target: li, Kind: faults.LinkDown})
+	churn, err := Run(Config{Graph: g, Faults: sched}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.Faults.Reroutes == 0 {
+		t.Fatalf("flow not rerouted: %+v", churn.Faults)
+	}
+	if churn.Faults.StarvedEpisodes != 0 {
+		t.Fatalf("flow starved despite a live detour: %+v", churn.Faults)
+	}
+	if churn.Flows[0].FCT <= base.Flows[0].FCT {
+		t.Fatalf("detoured FCT %v not longer than baseline %v", churn.Flows[0].FCT, base.Flows[0].FCT)
+	}
+	if churn.Flows[0].Hops <= base.Flows[0].Hops {
+		t.Fatalf("detour hops %d not longer than baseline %d", churn.Flows[0].Hops, base.Flows[0].Hops)
+	}
+	cold, err := Run(Config{Graph: g, Faults: sched, coldStart: true}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(cold) != fingerprint(churn) {
+		t.Fatalf("warm and cold diverged under a fault:\n--- warm ---\n%s\n--- cold ---\n%s",
+			fingerprint(churn), fingerprint(cold))
+	}
+}
+
+// TestPartitionStarvesUntilRepair: on a line there is no detour, so a
+// mid-flow outage parks the flow at rate 0 for exactly the outage and the
+// FCT stretches by it — the recovery-time accounting the churn experiment
+// reports.
+func TestPartitionStarvesUntilRepair(t *testing.T) {
+	g := topo.NewLine(4, topo.Options{})
+	specs := []workload.FlowSpec{{Src: 0, Dst: 3, Bytes: 10e6}}
+	base, err := Run(Config{Graph: g}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := edgeBetween(t, g, 1, 2)
+	down := sim.Time(base.Flows[0].FCT / 4)
+	outage := sim.Duration(base.Flows[0].FCT) // park it for one baseline-FCT
+	sched := faults.New(
+		faults.Event{At: down, Target: li, Kind: faults.LinkDown},
+		faults.Event{At: down.Add(outage), Target: li, Kind: faults.LinkUp},
+	)
+	churn, err := Run(Config{Graph: g, Faults: sched}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.Faults.StarvedEpisodes != 1 {
+		t.Fatalf("starved episodes = %d, want 1 (%+v)", churn.Faults.StarvedEpisodes, churn.Faults)
+	}
+	if churn.Faults.StarvedTime != outage {
+		t.Fatalf("starved time = %v, want the outage %v", churn.Faults.StarvedTime, outage)
+	}
+	if got, want := churn.Flows[0].FCT, base.Flows[0].FCT+outage; got != want {
+		t.Fatalf("FCT = %v, want baseline+outage = %v", got, want)
+	}
+}
+
+// TestUnhealedPartitionErrors: a down with no matching up strands the flow
+// forever; the run must fail loudly naming the starvation, not stall or
+// fabricate a completion.
+func TestUnhealedPartitionErrors(t *testing.T) {
+	g := topo.NewLine(3, topo.Options{})
+	specs := []workload.FlowSpec{{Src: 0, Dst: 2, Bytes: 1e6}}
+	sched := faults.New(faults.Event{At: sim.Time(sim.Microsecond), Target: edgeBetween(t, g, 0, 1), Kind: faults.LinkDown})
+	_, err := Run(Config{Graph: g, Faults: sched}, specs)
+	if err == nil || !strings.Contains(err.Error(), "starved") {
+		t.Fatalf("want starvation error, got %v", err)
+	}
+}
+
+// TestNodeLossPartitionsItsFlows: losing a node downs all its links; flows
+// to it starve until NodeUp, then finish. Exercises the node-loss lowering
+// end to end through the engine.
+func TestNodeLossPartitionsItsFlows(t *testing.T) {
+	g := topo.NewGrid(3, 3, topo.Options{})
+	specs := []workload.FlowSpec{{Src: 0, Dst: 8, Bytes: 10e6}}
+	base, err := Run(Config{Graph: g}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := sim.Time(base.Flows[0].FCT / 4)
+	up := down.Add(sim.Duration(base.Flows[0].FCT / 2))
+	sched := faults.New(
+		faults.Event{At: down, Target: 8, Kind: faults.NodeDown},
+		faults.Event{At: up, Target: 8, Kind: faults.NodeUp},
+	)
+	churn, err := Run(Config{Graph: g, Faults: sched}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.Faults.StarvedEpisodes != 1 {
+		t.Fatalf("starved episodes = %d, want 1", churn.Faults.StarvedEpisodes)
+	}
+	if churn.Flows[0].FCT <= base.Flows[0].FCT {
+		t.Fatalf("FCT %v not stretched past baseline %v by the node loss", churn.Flows[0].FCT, base.Flows[0].FCT)
+	}
+}
+
+// TestDegradeSlowsWithoutRerouting: a degrade keeps the link in the
+// topology — no reroute, no starvation, strictly longer FCT while it
+// lasts; restoring mid-flow returns the flow to full rate.
+func TestDegradeSlowsWithoutRerouting(t *testing.T) {
+	g := topo.NewLine(3, topo.Options{})
+	specs := []workload.FlowSpec{{Src: 0, Dst: 2, Bytes: 10e6}}
+	base, err := Run(Config{Graph: g}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := edgeBetween(t, g, 0, 1)
+	at := sim.Time(base.Flows[0].FCT / 2)
+	sched := faults.New(
+		faults.Event{At: at, Target: li, Kind: faults.Degrade, Frac: 0.25},
+		faults.Event{At: at.Add(sim.Duration(base.Flows[0].FCT / 4)), Target: li, Kind: faults.LinkUp},
+	)
+	churn, err := Run(Config{Graph: g, Faults: sched}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churn.Faults.Reroutes != 0 || churn.Faults.StarvedEpisodes != 0 {
+		t.Fatalf("degrade must not reroute or starve: %+v", churn.Faults)
+	}
+	if churn.Faults.CapacityEvents != 2 {
+		t.Fatalf("capacity events = %d, want 2", churn.Faults.CapacityEvents)
+	}
+	if churn.Flows[0].FCT <= base.Flows[0].FCT {
+		t.Fatalf("degraded FCT %v not longer than baseline %v", churn.Flows[0].FCT, base.Flows[0].FCT)
+	}
+}
+
+// TestFaultedRunRestoresGraph: a faulted run must leave every edge's
+// administrative state as it found it, even when the schedule ends with
+// links down, so baseline and churn trials can share a graph.
+func TestFaultedRunRestoresGraph(t *testing.T) {
+	g := topo.NewGrid(3, 3, topo.Options{})
+	specs := []workload.FlowSpec{{Src: 0, Dst: 2, Bytes: 1e6}}
+	sched := faults.New(faults.Event{At: 0, Target: edgeBetween(t, g, 3, 4), Kind: faults.LinkDown})
+	if _, err := Run(Config{Graph: g, Faults: sched}, specs); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if !e.Enabled() {
+			t.Fatalf("edge %d-%d left disabled after the run", e.A, e.B)
+		}
+	}
+	base, err := Run(Config{Graph: g}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Faults.CapacityEvents != 0 {
+		t.Fatalf("fault-free rerun saw %d capacity events", base.Faults.CapacityEvents)
+	}
+}
+
+// TestSolverMetricsExposed: the telemetry bridge totals the run's counters
+// into registry instruments and reports a warm hit rate.
+func TestSolverMetricsExposed(t *testing.T) {
+	g := topo.NewTorus(4, 4, topo.Options{})
+	specs := workload.Permutation(sim.NewRNG(5), 16, workload.Fixed(1e6))
+
+	reg := telemetry.NewRegistry()
+	sm := NewSolverMetrics(reg)
+	res, err := Run(Config{Graph: g, Metrics: sm}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got, want := int64(snap["fluid.warm_hits"]), res.Solver.WarmHits; got != want {
+		t.Fatalf("registry warm_hits = %d, result says %d", got, want)
+	}
+	fills := res.Solver.WarmHits + res.Solver.WarmFallbacks + res.Solver.ColdFills
+	if fills == 0 {
+		t.Fatal("no fills counted")
+	}
+	if res.Solver.WarmHits == 0 {
+		t.Fatalf("warm engine recorded zero oracle hits over %d fills", fills)
+	}
+	if pct := sm.WarmHitPct(); pct <= 0 || pct > 100 {
+		t.Fatalf("warm hit pct = %v", pct)
+	}
+
+	// The cold engine must attribute every fill to ColdFills.
+	cold, err := Run(Config{Graph: g, coldStart: true}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Solver.WarmHits != 0 || cold.Solver.WarmFallbacks != 0 || cold.Solver.ColdFills == 0 {
+		t.Fatalf("cold engine solver stats: %+v", cold.Solver)
+	}
+}

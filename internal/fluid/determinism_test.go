@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"rackfab/internal/faults"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
 	"rackfab/internal/workload"
@@ -11,7 +12,13 @@ import (
 
 // fingerprint renders every byte of a Result that could expose
 // nondeterminism: the full flow list in completion order plus aggregates.
-func fingerprint(r *Result) string { return fmt.Sprintf("%+v", *r) }
+// Solver is masked — warm and cold runs produce bit-identical allocations
+// by design while necessarily reporting opposite hit/fill mixes.
+func fingerprint(r *Result) string {
+	c := *r
+	c.Solver = SolverStats{}
+	return fmt.Sprintf("%+v", c)
+}
 
 // TestTiedCompletionOrderDeterministic is the regression test for the old
 // `for f := range active` nextDone scan: two flows that are identical except
@@ -52,40 +59,55 @@ func TestTiedCompletionOrderDeterministic(t *testing.T) {
 // must agree with each other to the byte. The permutation workload (every
 // arrival at t=0, identical sizes, uniform capacities) maximizes both
 // completion-time and bottleneck-share ties; the uniform workload adds
-// staggered arrivals; and the churn workload staggers arrivals far enough
+// staggered arrivals; the churn workload staggers arrivals far enough
 // apart that completions interleave them, so warm refills constantly seed
 // from non-zero allocations — the arrival-into-drained-component and
-// completion-splits-component paths a t=0 burst never exercises.
+// completion-splits-component paths a t=0 burst never exercises; and the
+// faulted case replays the uniform workload under a link-flap schedule, so
+// shuffles must also commute with mid-run rerouting, starvation, and
+// repair.
 func TestShuffledInputFingerprint(t *testing.T) {
+	flapped := faults.New(
+		faults.Event{At: 20 * sim.Time(sim.Microsecond), Target: 17, Kind: faults.LinkDown},
+		faults.Event{At: 55 * sim.Time(sim.Microsecond), Target: 3, Kind: faults.Degrade, Frac: 0.5},
+		faults.Event{At: 140 * sim.Time(sim.Microsecond), Target: 17, Kind: faults.LinkUp},
+		faults.Event{At: 200 * sim.Time(sim.Microsecond), Target: 3, Kind: faults.LinkUp},
+	)
 	cases := []struct {
 		name  string
 		specs []workload.FlowSpec
+		sched *faults.Schedule
 	}{
-		{"permutation", workload.Permutation(sim.NewRNG(7), 36, workload.Fixed(1e6))},
+		{"permutation", workload.Permutation(sim.NewRNG(7), 36, workload.Fixed(1e6)), nil},
 		{"uniform", workload.Uniform(sim.NewRNG(8), workload.UniformConfig{
 			Nodes: 36, Flows: 60,
 			Size:             workload.Fixed(500e3),
 			MeanInterarrival: 5 * sim.Microsecond,
-		})},
+		}), nil},
 		{"churn", workload.Uniform(sim.NewRNG(9), workload.UniformConfig{
 			Nodes: 36, Flows: 80,
 			Size:             workload.Pareto{Alpha: 1.5, MinBytes: 40e3, MaxBytes: 4e6},
 			MeanInterarrival: 40 * sim.Microsecond,
-		})},
+		}), nil},
+		{"faulted", workload.Uniform(sim.NewRNG(8), workload.UniformConfig{
+			Nodes: 36, Flows: 60,
+			Size:             workload.Fixed(500e3),
+			MeanInterarrival: 5 * sim.Microsecond,
+		}), flapped},
 	}
 	for _, tc := range cases {
-		name, specs := tc.name, tc.specs
+		name, specs, sched := tc.name, tc.specs, tc.sched
 		t.Run(name, func(t *testing.T) {
 			// Per-case RNG so every run — and every -run filter — replays
 			// the exact same shuffles.
 			rng := sim.NewRNG(int64(len(name)))
 			g := topo.NewTorus(6, 6, topo.Options{})
-			base, err := Run(Config{Graph: g}, specs)
+			base, err := Run(Config{Graph: g, Faults: sched}, specs)
 			if err != nil {
 				t.Fatal(err)
 			}
 			want := fingerprint(base)
-			cold, err := Run(Config{Graph: g, coldStart: true}, specs)
+			cold, err := Run(Config{Graph: g, Faults: sched, coldStart: true}, specs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,7 +120,7 @@ func TestShuffledInputFingerprint(t *testing.T) {
 					shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 				})
 				for _, coldStart := range []bool{false, true} {
-					res, err := Run(Config{Graph: g, coldStart: coldStart}, shuffled)
+					res, err := Run(Config{Graph: g, Faults: sched, coldStart: coldStart}, shuffled)
 					if err != nil {
 						t.Fatal(err)
 					}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rackfab/internal/faults"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
 	"rackfab/internal/workload"
@@ -34,19 +35,72 @@ import (
 // Config parameterizes a fluid run.
 type Config struct {
 	// Graph is the topology; link capacities come from EffectiveRate,
-	// snapshotted once at the start of the run (a fluid run never
-	// reconfigures the fabric mid-flight).
+	// snapshotted once at the start of the run as the nominal healthy
+	// state. Only Faults events move capacities after that.
 	Graph *topo.Graph
 	// PerHopLatency is added to each flow's completion time per path hop
 	// (the switch traversal the packet engine simulates in full).
 	PerHopLatency sim.Duration
 	// Limit bounds simulated time (0 = none).
 	Limit sim.Time
+	// Faults is an optional fault timeline applied mid-run: link capacity
+	// changes (down / up / degrade, node loss lowered to its incident
+	// links) interleave with flow arrivals and completions, winning exact
+	// time ties against both. Flows crossing a failed link re-route onto
+	// the incrementally repaired table when a path survives and park at
+	// rate 0 until a repair heals the partition otherwise. The run
+	// restores the graph's administrative link state on exit, so the same
+	// graph can host a fault-free run afterwards.
+	Faults *faults.Schedule
+	// Metrics optionally receives the run's solver counters (warm-start
+	// hit rate, reroutes) — see NewSolverMetrics. Counters accumulate
+	// across runs sharing one SolverMetrics.
+	Metrics *SolverMetrics
 	// coldStart disables the warm-start replay so every event re-solves its
 	// component from zero. The two paths produce bit-identical allocations;
 	// the switch exists so in-package tests can prove it (and measure the
 	// cold cost). Deliberately unexported: callers never need it.
 	coldStart bool
+}
+
+// SolverStats counts how refills were solved: WarmHits are fills the
+// warm-start oracle replayed end to end, WarmFallbacks entered the replay
+// but fell back to the scan loop (entry guard or mid-fill deviation), and
+// ColdFills ran the scan loop outright (cold engine, or a post-bail dead
+// oracle). Hits/(Hits+Fallbacks+ColdFills) is the warm hit rate the
+// experiment summaries print.
+type SolverStats struct {
+	WarmHits      int64
+	WarmFallbacks int64
+	ColdFills     int64
+}
+
+// WarmHitPct returns the warm-start hit rate as a percentage of all fills
+// (0 when no fills ran) — the one definition every summary column and
+// telemetry reader shares.
+func (s SolverStats) WarmHitPct() float64 {
+	total := s.WarmHits + s.WarmFallbacks + s.ColdFills
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.WarmHits) / float64(total)
+}
+
+// FaultStats summarizes the run's churn: capacity events applied (after
+// node-loss lowering), routing-table destination columns rebuilt by
+// incremental repair, flows moved to a new path mid-flight, starvation
+// episodes (an active flow pinned at rate 0 by a dead link for a positive
+// span of simulated time — same-instant freeze/revive transients during a
+// fault's own reroute cascade don't count), and the total flow-time spent
+// starved. StarvedTime/StarvedEpisodes is the mean service-recovery time
+// after a failure: flows an immediate reroute saved never appear, flows
+// that had to wait for the repair contribute their outage.
+type FaultStats struct {
+	CapacityEvents  int64
+	RouteRepairs    int64
+	Reroutes        int64
+	StarvedEpisodes int64
+	StarvedTime     sim.Duration
 }
 
 // FlowResult is one completed flow.
@@ -68,8 +122,15 @@ type Result struct {
 	MeanFCT, P99FCT sim.Duration
 	// JCT is the barrier completion time across all flows.
 	JCT sim.Duration
-	// Events counts arrival/completion events processed.
+	// Events counts arrival/completion events processed (capacity-change
+	// events are tallied separately in Faults.CapacityEvents).
 	Events int
+	// Solver reports how the run's refills were solved. Warm and cold
+	// engines produce bit-identical Flows but opposite Solver mixes, so
+	// determinism fingerprints mask this field.
+	Solver SolverStats
+	// Faults summarizes applied churn; zero-valued on fault-free runs.
+	Faults FaultStats
 }
 
 // canonicalize returns the specs sorted by (At, Src, Dst, Bytes, Label).
@@ -117,9 +178,31 @@ func Run(cfg Config, specs []workload.FlowSpec) (*Result, error) {
 		return nil, fmt.Errorf("fluid: routing: %w", err)
 	}
 
+	// Lower the fault schedule to per-link capacity events up front, and
+	// restore the graph's administrative link state on every exit path so
+	// a faulted run leaves the topology as it found it (warm/cold replays
+	// and baseline-vs-churn trials share graphs).
+	linkEvents, err := cfg.Faults.Links(cfg.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("fluid: faults: %w", err)
+	}
+	if len(linkEvents) > 0 {
+		edges := cfg.Graph.Edges()
+		enabled := make([]bool, len(edges))
+		for i, e := range edges {
+			enabled[i] = e.Enabled()
+		}
+		defer func() {
+			for i, e := range edges {
+				e.SetEnabled(enabled[i])
+			}
+		}()
+	}
+
 	res := &Result{Flows: make([]FlowResult, 0, len(en.flows))}
 	now := sim.Time(0)
 	arrived := 0
+	faulted := 0
 
 	for arrived < len(en.flows) || en.activeCount > 0 {
 		nextDone, doneID := en.nextDone()
@@ -130,28 +213,54 @@ func Run(cfg Config, specs []workload.FlowSpec) (*Result, error) {
 				nextArrival = now
 			}
 		}
+		nextFault := sim.Forever
+		if faulted < len(linkEvents) {
+			nextFault = linkEvents[faulted].At
+			if nextFault < now {
+				nextFault = now
+			}
+		}
 		next := nextDone
 		if nextArrival < next {
 			next = nextArrival
 		}
+		if nextFault < next {
+			next = nextFault
+		}
 		if next == sim.Forever {
+			if en.starvedNow > 0 {
+				return nil, fmt.Errorf("fluid: %d flows starved behind an unhealed partition at %v (no repair scheduled)", en.starvedNow, now)
+			}
 			return nil, fmt.Errorf("fluid: stalled at %v with %d active flows and no progress", now, en.activeCount)
 		}
 		if next > cfg.Limit {
 			return nil, fmt.Errorf("fluid: time limit %v exceeded with %d flows left", cfg.Limit, en.activeCount+len(en.flows)-arrived)
 		}
 		now = next
-		res.Events++
 
-		// Arrivals win exact ties against completions, as in the original
-		// engine; tied completions resolve in flow-ID order via the heap.
-		if next == nextArrival && arrived < len(en.flows) {
+		// Faults win exact ties against both flow event kinds — capacity is
+		// infrastructure, so a same-instant arrival already sees the new
+		// topology. Arrivals win ties against completions, as in the
+		// original engine; tied completions resolve in flow-ID order via
+		// the heap.
+		switch {
+		case next == nextFault && faulted < len(linkEvents):
+			en.applyLinkEvent(now, linkEvents[faulted])
+			faulted++
+		case next == nextArrival && arrived < len(en.flows):
+			res.Events++
 			en.arrive(int32(arrived), now)
 			arrived++
-		} else {
+		default:
+			res.Events++
 			res.Flows = append(res.Flows, en.complete(doneID, now))
 		}
 		en.compactDone()
+	}
+	res.Solver = en.stats.SolverStats
+	res.Faults = en.stats.FaultStats
+	if cfg.Metrics != nil {
+		cfg.Metrics.observe(res)
 	}
 	summarize(res)
 	return res, nil

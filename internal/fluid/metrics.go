@@ -1,0 +1,49 @@
+package fluid
+
+import "rackfab/internal/telemetry"
+
+// SolverMetrics exposes the fluid solver's per-run counters through a
+// telemetry.Registry, the same measurement substrate the packet fabric's
+// instruments use: experiments register one per trial, pass it via
+// Config.Metrics, and snapshot the registry into their summary tables.
+// Counters accumulate — reusing one SolverMetrics across several runs
+// totals them, which is exactly what a multi-run trial wants.
+type SolverMetrics struct {
+	WarmHits      *telemetry.Counter
+	WarmFallbacks *telemetry.Counter
+	ColdFills     *telemetry.Counter
+	Reroutes      *telemetry.Counter
+	Starved       *telemetry.Counter
+}
+
+// NewSolverMetrics creates and registers the solver instruments under the
+// "fluid." prefix in reg.
+func NewSolverMetrics(reg *telemetry.Registry) *SolverMetrics {
+	return &SolverMetrics{
+		WarmHits:      reg.Counter("fluid.warm_hits"),
+		WarmFallbacks: reg.Counter("fluid.warm_fallbacks"),
+		ColdFills:     reg.Counter("fluid.cold_fills"),
+		Reroutes:      reg.Counter("fluid.reroutes"),
+		Starved:       reg.Counter("fluid.starved_episodes"),
+	}
+}
+
+// WarmHitPct returns the fraction of fills the warm-start oracle replayed
+// end to end, as a percentage (0 when no fills ran), totaled across every
+// run observed. Delegates to SolverStats.WarmHitPct for the formula.
+func (m *SolverMetrics) WarmHitPct() float64 {
+	return SolverStats{
+		WarmHits:      m.WarmHits.Value(),
+		WarmFallbacks: m.WarmFallbacks.Value(),
+		ColdFills:     m.ColdFills.Value(),
+	}.WarmHitPct()
+}
+
+// observe folds one finished run's counters into the instruments.
+func (m *SolverMetrics) observe(res *Result) {
+	m.WarmHits.Add(res.Solver.WarmHits)
+	m.WarmFallbacks.Add(res.Solver.WarmFallbacks)
+	m.ColdFills.Add(res.Solver.ColdFills)
+	m.Reroutes.Add(res.Faults.Reroutes)
+	m.Starved.Add(res.Faults.StarvedEpisodes)
+}

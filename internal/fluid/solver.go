@@ -29,6 +29,12 @@ type flowState struct {
 	seq       int64    // global freeze order; encodes the last fill's round chronology
 	fill      uint64   // ID of the fill that last froze this flow
 	active    bool
+
+	// starved marks an active flow pinned at rate 0 by a zero-capacity
+	// link on its path; starvedAt is when the episode began, for the
+	// recovery-time accounting the churn experiments report.
+	starved   bool
+	starvedAt sim.Time
 }
 
 // settle advances f.remaining to `now` under the current rate. Rates only
@@ -76,8 +82,27 @@ type engine struct {
 	activeCount int
 
 	// Per-link state, indexed by stable link ID.
-	linkCap   []float64 // capacity snapshot (EffectiveRate at engine build)
+	linkCap   []float64 // live capacity (nominal snapshot ± fault events)
 	linkFlows [][]int32 // active flow IDs crossing each link
+
+	// Fault-injection state. nominalCap is the healthy-capacity snapshot
+	// fault factors multiply; edgeByIdx resolves a stable link ID back to
+	// its edge for enable/disable + route repair; routesChanged marks the
+	// table diverged from the one addFlows pre-routed against, so arrivals
+	// re-path; starvedNow counts active flows pinned at rate 0.
+	nominalCap    []float64
+	edgeByIdx     []*topo.Edge
+	routesChanged bool
+	starvedNow    int
+	seedBuf       []int32  // reroute refill seed: old path ∪ new path
+	faultSeed     [1]int32 // single-link refill seed for capacity events
+
+	// stats accumulates the run's solver and fault observability counters,
+	// copied into Result (and any configured SolverMetrics) at end of run.
+	stats struct {
+		SolverStats
+		FaultStats
+	}
 
 	// Completion-time heap with lazy invalidation: entries are (finish,
 	// flowID, rate generation) and losers are discarded on peek.
@@ -122,10 +147,12 @@ type engine struct {
 	oracleFill uint64
 }
 
-// newEngine builds the indexed solver for one run. Link capacities are
-// snapshotted once: a fluid run never reconfigures the fabric mid-flight.
-// The routing table is built lazily by addFlows — a run over zero specs
-// (which guards probe for) never pays the O(n²) table build.
+// newEngine builds the indexed solver for one run. Healthy link capacities
+// are snapshotted once into nominalCap; the live linkCap starts equal and
+// moves only through applyLinkEvent (fault injection) — a fault-free run
+// never reconfigures mid-flight. The routing table is built lazily by
+// addFlows — a run over zero specs (which guards probe for) never pays the
+// O(n²) table build.
 func newEngine(g *topo.Graph, perHop sim.Duration) *engine {
 	en := &engine{
 		graph:  g,
@@ -133,9 +160,13 @@ func newEngine(g *topo.Graph, perHop sim.Duration) *engine {
 	}
 	nl := g.EdgeIndexBound()
 	en.linkCap = make([]float64, nl)
+	en.nominalCap = make([]float64, nl)
 	en.linkFlows = make([][]int32, nl)
+	en.edgeByIdx = make([]*topo.Edge, nl)
 	for _, e := range g.Edges() {
 		en.linkCap[e.Index()] = e.Link.EffectiveRate()
+		en.nominalCap[e.Index()] = en.linkCap[e.Index()]
+		en.edgeByIdx[e.Index()] = e
 	}
 	en.linkEpoch = make([]uint32, nl)
 	en.tieStamp = make([]uint32, nl)
@@ -168,9 +199,20 @@ func (en *engine) addFlows(specs []workload.FlowSpec) error {
 	return nil
 }
 
-// arrive activates flow fid at `now` and re-solves its component.
+// arrive activates flow fid at `now` and re-solves its component. After a
+// fault has changed routing, the path pre-computed by addFlows may be
+// stale: the flow re-paths against the repaired table, and if its
+// destination is currently unreachable it keeps the pre-fault path — every
+// such path crosses a dead link, so the flow parks at rate 0 until a
+// repair heals the partition (rescueStarved re-paths it then).
 func (en *engine) arrive(fid int32, now sim.Time) {
 	f := &en.flows[fid]
+	if en.routesChanged {
+		if links, ok := en.repath(fid); ok {
+			f.links = links
+			f.hops = len(links)
+		}
+	}
 	f.active = true
 	f.start = now
 	f.settled = now
@@ -181,6 +223,11 @@ func (en *engine) arrive(fid int32, now sim.Time) {
 		en.linkFlows[li] = append(en.linkFlows[li], fid)
 	}
 	en.refill(now, f.links, fid)
+	if f.rate == 0 {
+		// Arrived straight into a dead path: the refill froze it at zero,
+		// which setRate's transition tracking cannot see (0 → 0).
+		en.noteStarved(fid, now)
+	}
 }
 
 // complete deactivates flow fid at `now`, re-solves the component it leaves
@@ -283,9 +330,14 @@ func (en *engine) refill(now sim.Time, seed []int32, newcomer int32) {
 	en.fillSeq++
 	if en.cold || en.dead {
 		en.coldRounds(now, remaining)
+		en.stats.ColdFills++
 		return
 	}
-	en.warmRounds(now, seed, newcomer, remaining)
+	if en.warmRounds(now, seed, newcomer, remaining) {
+		en.stats.WarmHits++
+	} else {
+		en.stats.WarmFallbacks++
+	}
 }
 
 // coldRounds runs progressive-filling rounds from the current component
@@ -416,13 +468,18 @@ func (en *engine) freeze(fid int32, now sim.Time, best float64) {
 // coldRounds scan loop. Warm and cold therefore produce identical
 // allocations to the last bit — the fuzz and determinism tests hold both
 // paths to that.
-func (en *engine) warmRounds(now sim.Time, seed []int32, newcomer int32, remaining int) {
+//
+// The return value reports whether the replay survived to the end of the
+// fill: false whenever any portion ran through the coldRounds scan loop
+// (entry guard or mid-fill fallback) — the warm-start hit-rate telemetry
+// the experiments print.
+func (en *engine) warmRounds(now sim.Time, seed []int32, newcomer int32, remaining int) bool {
 	if en.zeroRates > 1 || (en.zeroRates == 1 && newcomer < 0) || en.oracleFill == 0 {
 		// A flow with no previous rate that isn't the newcomer (a starved
 		// corner the schedule can't speak for), or oracle entries stamped
 		// by different fills (a merge with no common chronology).
 		en.coldRounds(now, remaining)
-		return
+		return false
 	}
 	lv := en.levels
 	slices.SortFunc(lv, func(a, b levelEntry) int {
@@ -461,7 +518,7 @@ func (en *engine) warmRounds(now sim.Time, seed []int32, newcomer int32, remaini
 			// No scheduled level and no live seed link, yet flows remain:
 			// hand the stragglers to the scan loop.
 			en.coldRounds(now, remaining)
-			return
+			return false
 		}
 		en.round++
 		en.tied = en.tied[:0]
@@ -542,9 +599,10 @@ func (en *engine) warmRounds(now sim.Time, seed []int32, newcomer int32, remaini
 		}
 		if offSchedule {
 			en.coldRounds(now, remaining)
-			return
+			return false
 		}
 	}
+	return true
 }
 
 // setRate settles flow fid and repoints it at a new rate, refreshing its
@@ -557,13 +615,42 @@ func (en *engine) setRate(fid int32, now sim.Time, rate float64) {
 	if rate == f.rate {
 		return
 	}
+	if rate == 0 && f.rate > 0 {
+		en.noteStarved(fid, now)
+	}
 	f.settle(now)
 	f.rate = rate
 	f.gen++
 	if rate > 0 {
+		if f.starved {
+			// The flow came back: a repair restored capacity or a reroute
+			// found a live path. An episode only counts if the flow
+			// actually waited — a flow frozen at zero and revived within
+			// one fault instant (it was mid-queue while its down event's
+			// reroutes re-solved the component) never lost service time.
+			if d := now.Sub(f.starvedAt); d > 0 {
+				en.stats.StarvedEpisodes++
+				en.stats.StarvedTime += d
+			}
+			f.starved = false
+			en.starvedNow--
+		}
 		f.finish = now.Add(sim.Seconds(f.remaining / rate))
 		en.done.Push(doneEntry{t: f.finish, fid: fid, gen: f.gen})
 	}
+}
+
+// noteStarved marks active flow fid starved: a zero-capacity link on its
+// path pinned it at rate 0. Idempotent per episode; setRate closes (and
+// counts) the episode when the rate comes back.
+func (en *engine) noteStarved(fid int32, now sim.Time) {
+	f := &en.flows[fid]
+	if f.starved {
+		return
+	}
+	f.starved = true
+	f.starvedAt = now
+	en.starvedNow++
 }
 
 // nextDone returns the earliest valid projected completion, breaking exact

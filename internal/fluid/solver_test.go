@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"rackfab/internal/faults"
 	"rackfab/internal/sim"
 	"rackfab/internal/telemetry"
 	"rackfab/internal/topo"
@@ -51,7 +52,19 @@ func checkMaxMin(t *testing.T, en *engine) {
 			continue
 		}
 		if f.rate <= 0 {
-			t.Fatalf("flow %d starved: rate %g", fid, f.rate)
+			// Rate 0 is legal only for a flow pinned by a failed link on
+			// its path; max-min over positive capacities never starves.
+			dead := false
+			for _, li := range f.links {
+				if en.linkCap[li] == 0 {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				t.Fatalf("flow %d starved (rate %g) with every path link live", fid, f.rate)
+			}
+			continue
 		}
 		bottlenecked := false
 		for _, li := range f.links {
@@ -116,12 +129,17 @@ func TestMaxMinInvariantProperty(t *testing.T) {
 }
 
 // churnEngines drives a warm and a cold engine through the identical random
-// interleaving of arrivals and completions, calling check after every event.
-// The interleaving deliberately drains and regrows components, so warm
-// refills seed from non-zero previous allocations — arrivals into partially
-// frozen neighborhoods, completions that split components — not just the
-// monotone growth of a t=0 burst.
-func churnEngines(t *testing.T, g *topo.Graph, specs []workload.FlowSpec, rng *sim.RNG, check func(warm, cold *engine)) {
+// interleaving of arrivals and completions — and, when withFaults is set,
+// link capacity ops (down / up / degrade on random edges) — calling check
+// after every event. The interleaving deliberately drains and regrows
+// components, so warm refills seed from non-zero previous allocations —
+// arrivals into partially frozen neighborhoods, completions that split
+// components — not just the monotone growth of a t=0 burst. When every
+// active flow is starved behind downed links the walk heals the
+// lowest-indexed dead edge (the role a fault schedule's repair events play
+// in a real run) so it always terminates; it restores the shared graph's
+// administrative state on exit.
+func churnEngines(t *testing.T, g *topo.Graph, specs []workload.FlowSpec, rng *sim.RNG, withFaults bool, check func(warm, cold *engine)) {
 	t.Helper()
 	specs = canonicalize(specs)
 	warm := newEngine(g, 450*sim.Nanosecond)
@@ -133,13 +151,48 @@ func churnEngines(t *testing.T, g *topo.Graph, specs []workload.FlowSpec, rng *s
 	if err := cold.addFlows(specs); err != nil {
 		t.Fatal(err)
 	}
+	edges := g.Edges()
+	factor := make([]float64, g.EdgeIndexBound())
+	for i := range factor {
+		factor[i] = 1
+	}
+	if withFaults {
+		defer func() {
+			for _, e := range edges {
+				e.SetEnabled(true)
+			}
+		}()
+	}
+	applyBoth := func(now sim.Time, ev faults.LinkEvent) {
+		warm.applyLinkEvent(now, ev)
+		cold.applyLinkEvent(now, ev)
+		factor[ev.Edge] = ev.Factor
+	}
 	now := sim.Time(0)
 	arrived := 0
-	for arrived < len(specs) || warm.activeCount > 0 {
+	for ops := 0; arrived < len(specs) || warm.activeCount > 0; ops++ {
+		if ops > 100000 {
+			t.Fatal("churn walk did not terminate")
+		}
+		now = now.Add(sim.Microsecond)
+		if withFaults && rng.Intn(4) == 0 {
+			e := edges[rng.Intn(len(edges))]
+			var f float64
+			switch rng.Intn(3) {
+			case 0:
+				f = 0
+			case 1:
+				f = 1
+			default:
+				f = []float64{0.25, 0.5, 0.75}[rng.Intn(3)]
+			}
+			applyBoth(now, faults.LinkEvent{At: now, Edge: e.Index(), Factor: f})
+			check(warm, cold)
+			continue
+		}
 		// Bias toward arrivals while any remain, but complete often enough
 		// that components shrink, split, and regrow mid-run.
 		doArrive := arrived < len(specs) && (warm.activeCount == 0 || rng.Intn(3) != 0)
-		now = now.Add(sim.Microsecond)
 		if doArrive {
 			warm.arrive(int32(arrived), now)
 			cold.arrive(int32(arrived), now)
@@ -151,7 +204,21 @@ func churnEngines(t *testing.T, g *topo.Graph, specs []workload.FlowSpec, rng *s
 				t.Fatalf("completion schedules diverged: warm (%v, %d) vs cold (%v, %d)", wt, wid, ct, cid)
 			}
 			if wid < 0 {
-				t.Fatalf("active flows but no projected completion at %v", now)
+				// Every active flow is starved behind a dead link: heal the
+				// lowest-indexed one and retry, as a repair event would.
+				healed := false
+				for li, f := range factor {
+					if f == 0 {
+						applyBoth(now, faults.LinkEvent{At: now, Edge: li, Factor: 1})
+						healed = true
+						break
+					}
+				}
+				if !healed {
+					t.Fatalf("active flows but no projected completion at %v and no dead link to heal", now)
+				}
+				check(warm, cold)
+				continue
 			}
 			if wt > now {
 				now = wt
@@ -188,7 +255,7 @@ func TestWarmStartMatchesColdUnderChurn(t *testing.T) {
 		}
 		g := topo.NewTorus(side, side, topo.Options{})
 		events := 0
-		churnEngines(t, g, specs, rng, func(warm, cold *engine) {
+		churnEngines(t, g, specs, rng, false, func(warm, cold *engine) {
 			events++
 			for fid := range warm.flows {
 				w, c := warm.flows[fid].rate, cold.flows[fid].rate
@@ -201,6 +268,48 @@ func TestWarmStartMatchesColdUnderChurn(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(23))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmColdUnderFaultChurn extends the warm-start gate to capacity
+// churn: the random walk now interleaves link down/up/degrade ops with
+// arrivals and completions, and after every event the warm engine's rate
+// vector must still equal the cold engine's bit for bit while both satisfy
+// the max-min certificate (starved flows included). This is the property
+// FuzzSolverMaxMin explores further.
+func TestWarmColdUnderFaultChurn(t *testing.T) {
+	prop := func(seed int64, sideRaw, flowsRaw uint8) bool {
+		side := 3 + int(sideRaw)%3
+		n := side * side
+		flows := 4 + int(flowsRaw)%40
+		rng := sim.NewRNG(seed)
+		specs := make([]workload.FlowSpec, 0, flows)
+		for len(specs) < flows {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			specs = append(specs, workload.FlowSpec{
+				Src: src, Dst: dst,
+				Bytes: 100e3 + int64(rng.Intn(4))*450e3,
+			})
+		}
+		g := topo.NewTorus(side, side, topo.Options{})
+		events := 0
+		churnEngines(t, g, specs, rng, true, func(warm, cold *engine) {
+			events++
+			for fid := range warm.flows {
+				w, c := warm.flows[fid].rate, cold.flows[fid].rate
+				if w != c {
+					t.Fatalf("event %d: flow %d warm rate %g != cold rate %g", events, fid, w, c)
+				}
+			}
+			checkMaxMin(t, warm)
+		})
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(29))}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -235,7 +344,10 @@ func TestP99Convention(t *testing.T) {
 // around one flow's path per iteration (the exact work an arrival or
 // completion triggers). The warm arm is the default engine — the steady
 // state where the previous allocation replays as an oracle — and the cold
-// arm forces the from-zero progressive fill for comparison.
+// arm forces the from-zero progressive fill for comparison. The capacity
+// arm is the fault subsystem's hot path: one link capacity change
+// (alternating degrade/restore, no topology transition) re-solved through
+// the same oracle.
 func BenchmarkFluidAllocate(b *testing.B) {
 	for _, arm := range []struct {
 		name string
@@ -255,4 +367,21 @@ func BenchmarkFluidAllocate(b *testing.B) {
 			}
 		})
 	}
+	b.Run("capacity", func(b *testing.B) {
+		g := topo.NewTorus(16, 16, topo.Options{})
+		rng := sim.NewRNG(3)
+		specs := workload.Permutation(rng, 256, workload.Fixed(1e6))
+		en := activeEngine(b, g, specs)
+		li := en.flows[0].links[0] // a loaded link
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			factor := 1.0
+			if i&1 == 0 {
+				factor = 0.5
+			}
+			en.applyLinkEvent(0, faults.LinkEvent{Edge: int(li), Factor: factor})
+			en.compactDone() // as Run does after every event; bounds the heap
+		}
+	})
 }

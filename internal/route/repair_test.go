@@ -1,0 +1,183 @@
+package route
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+)
+
+// tablesEqual asserts t2 routes identically to t1: same distances, same
+// primary next hops, same ECMP tie sets (as edge-index sets, arena layout
+// aside).
+func tablesEqual(t *testing.T, label string, want, got *Table) {
+	t.Helper()
+	if want.n != got.n {
+		t.Fatalf("%s: n %d vs %d", label, want.n, got.n)
+	}
+	n := want.n
+	for from := 0; from < n; from++ {
+		for dst := 0; dst < n; dst++ {
+			idx := from*n + dst
+			dw, dg := want.dist[idx], got.dist[idx]
+			if dw != dg && !(math.IsInf(dw, 1) && math.IsInf(dg, 1)) {
+				t.Fatalf("%s: dist %d→%d = %v, want %v", label, from, dst, dg, dw)
+			}
+			if want.primary[idx] != got.primary[idx] {
+				t.Fatalf("%s: primary %d→%d = %v, want %v", label, from, dst, got.primary[idx], want.primary[idx])
+			}
+			if want.ecmpCnt[idx] != got.ecmpCnt[idx] {
+				t.Fatalf("%s: ecmp count %d→%d = %d, want %d", label, from, dst, got.ecmpCnt[idx], want.ecmpCnt[idx])
+			}
+			for k := int32(0); k < want.ecmpCnt[idx]; k++ {
+				w := want.arena[want.ecmpOff[idx]+k]
+				g := got.arena[got.ecmpOff[idx]+k]
+				if w != g {
+					t.Fatalf("%s: ecmp[%d] %d→%d = %v, want %v", label, k, from, dst, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRepairMatchesFullBuild drives a table through a deterministic
+// disable/enable churn on three fabric shapes and, after every Repair,
+// demands the repaired table be indistinguishable from a from-scratch
+// Build over the same live topology — distances, primaries, and full ECMP
+// sets. This is the incremental-repair correctness gate.
+func TestRepairMatchesFullBuild(t *testing.T) {
+	shapes := []struct {
+		name string
+		g    *topo.Graph
+	}{
+		{"grid", topo.NewGrid(5, 4, topo.Options{})},
+		{"torus", topo.NewTorus(4, 4, topo.Options{})},
+		{"line", topo.NewLine(9, topo.Options{})},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			g := sh.g
+			tab := Build(g, UniformCost)
+			rng := sim.NewRNG(int64(len(sh.name)))
+			edges := g.Edges()
+			rebuiltTotal := 0
+			for step := 0; step < 30; step++ {
+				e := edges[rng.Intn(len(edges))]
+				e.SetEnabled(!e.Enabled()) // toggle: downs and restores interleave
+				rebuiltTotal += tab.Repair(g, UniformCost, e)
+				tablesEqual(t, sh.name, Build(g, UniformCost), tab)
+			}
+			if rebuiltTotal == 0 {
+				t.Fatal("repair churn rebuilt nothing — the triage test is inert")
+			}
+			for _, e := range edges {
+				e.SetEnabled(true)
+			}
+		})
+	}
+}
+
+// TestRepairNoopOnUnchangedCost: repairing an edge whose cost did not move
+// rebuilds nothing.
+func TestRepairNoopOnUnchangedCost(t *testing.T) {
+	g := topo.NewGrid(4, 4, topo.Options{})
+	tab := Build(g, UniformCost)
+	if n := tab.Repair(g, UniformCost, g.Edges()[3]); n != 0 {
+		t.Fatalf("no-op repair rebuilt %d columns", n)
+	}
+}
+
+// TestPathUnreachableTyped is the partition regression: after a cut splits
+// a 4×4 grid, Path across the cut must return the typed ErrUnreachable —
+// never a zero-value path — NextHop must report no hop (no stale
+// pre-failure edge), and healing the cut must restore both. Exercised
+// through Repair, the path the fault subsystem takes.
+func TestPathUnreachableTyped(t *testing.T) {
+	g := topo.NewGrid(4, 4, topo.Options{})
+	tab := Build(g, UniformCost)
+	// Cut every edge between column 1 and column 2.
+	var cut []*topo.Edge
+	for y := 0; y < 4; y++ {
+		e, ok := g.EdgeBetween(g.NodeAt(1, y), g.NodeAt(2, y))
+		if !ok {
+			t.Fatalf("missing edge at row %d", y)
+		}
+		cut = append(cut, e)
+	}
+	for _, e := range cut {
+		e.SetEnabled(false)
+		tab.Repair(g, UniformCost, e)
+	}
+	src, dst := g.NodeAt(0, 0), g.NodeAt(3, 3)
+	p, err := tab.Path(src, dst)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("Path across the partition: path=%v err=%v, want ErrUnreachable", p, err)
+	}
+	if p != nil {
+		t.Fatalf("Path returned a non-nil path %v alongside the error", p)
+	}
+	if hop, ok := tab.NextHop(src, dst); ok {
+		t.Fatalf("NextHop across the partition returned stale edge %v-%v", hop.A, hop.B)
+	}
+	if _, ok := tab.NextHopECMP(src, dst, 12345); ok {
+		t.Fatal("NextHopECMP across the partition returned a hop")
+	}
+	if tab.Reachable(src, dst) {
+		t.Fatal("Reachable across the partition")
+	}
+	// Same-side traffic is untouched.
+	if _, err := tab.Path(g.NodeAt(0, 0), g.NodeAt(1, 3)); err != nil {
+		t.Fatalf("same-side path broke: %v", err)
+	}
+	// Heal one cut edge: the partition closes and Path works again.
+	cut[2].SetEnabled(true)
+	tab.Repair(g, UniformCost, cut[2])
+	if _, err := tab.Path(src, dst); err != nil {
+		t.Fatalf("path after heal: %v", err)
+	}
+	tablesEqual(t, "healed", Build(g, UniformCost), tab)
+	for _, e := range cut {
+		e.SetEnabled(true)
+	}
+}
+
+// TestRepairTriageIsSelective: an edge that sits on no destination's
+// shortest-path DAG (priced far above the alternatives) must trigger zero
+// column rebuilds when it fails, and zero again when it recovers at the
+// same unattractive price — the triage is genuinely incremental, not a
+// full rebuild in disguise. A uniform-cost contrast on a line shows the
+// other extreme: an end edge is on every DAG, so all columns rebuild.
+func TestRepairTriageIsSelective(t *testing.T) {
+	g := topo.NewGrid(4, 4, topo.Options{})
+	pricey, _ := g.EdgeBetween(g.NodeAt(1, 1), g.NodeAt(2, 1))
+	cost := func(e *topo.Edge) float64 {
+		c := UniformCost(e)
+		if e == pricey {
+			c *= 100
+		}
+		return c
+	}
+	tab := Build(g, cost)
+	pricey.SetEnabled(false)
+	if n := tab.Repair(g, cost, pricey); n != 0 {
+		t.Fatalf("failing an off-DAG edge rebuilt %d columns, want 0", n)
+	}
+	tablesEqual(t, "down", Build(g, cost), tab)
+	pricey.SetEnabled(true)
+	if n := tab.Repair(g, cost, pricey); n != 0 {
+		t.Fatalf("restoring an unattractive edge rebuilt %d columns, want 0", n)
+	}
+	tablesEqual(t, "up", Build(g, cost), tab)
+
+	line := topo.NewLine(16, topo.Options{})
+	ltab := Build(line, UniformCost)
+	end, _ := line.EdgeBetween(0, 1)
+	end.SetEnabled(false)
+	if n := ltab.Repair(line, UniformCost, end); n != line.NumNodes() {
+		t.Fatalf("end-edge cut rebuilt %d of %d columns", n, line.NumNodes())
+	}
+	tablesEqual(t, "line", Build(line, UniformCost), ltab)
+	end.SetEnabled(true)
+}

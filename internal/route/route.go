@@ -10,6 +10,7 @@
 package route
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -17,13 +18,22 @@ import (
 	"rackfab/internal/topo"
 )
 
+// ErrUnreachable reports that no live path exists between two nodes — a
+// genuine network condition (a partition after link or node failures), not
+// a table bug. Callers distinguish it from table-inconsistency errors with
+// errors.Is and decide policy: park the flow until a repair heals the
+// partition, fail it, or surface the outage.
+var ErrUnreachable = errors.New("route: destination unreachable")
+
 // CostFunc prices one traversal of an edge. Costs must be positive and
 // finite for usable edges; return +Inf to exclude an edge.
 type CostFunc func(e *topo.Edge) float64
 
-// UniformCost prices every live edge at 1 (minimum hop count).
+// UniformCost prices every live, administratively enabled edge at 1
+// (minimum hop count). Disabled edges — the fault layer's link-down state —
+// are excluded exactly like physically dead ones.
 func UniformCost(e *topo.Edge) float64 {
-	if !e.Link.Up() {
+	if !e.Enabled() || !e.Link.Up() {
 		return math.Inf(1)
 	}
 	return 1
@@ -40,6 +50,7 @@ type Table struct {
 	ecmpCnt []int32      // [from*n+dst] number of cost-tied next hops
 	arena   []*topo.Edge // concatenated tie lists
 	dist    []float64    // [from*n+dst] total path cost
+	costOf  []float64    // [edge index] cost snapshot of the last build/repair
 }
 
 // Build runs one backward Dijkstra per destination over the live graph and
@@ -59,19 +70,84 @@ func Build(g *topo.Graph, cost CostFunc) *Table {
 	for i := range t.dist {
 		t.dist[i] = math.Inf(1)
 	}
-	costOf := make([]float64, g.EdgeIndexBound())
+	t.costOf = make([]float64, g.EdgeIndexBound())
 	for _, e := range g.Edges() {
 		c := cost(e)
 		if !math.IsInf(c, 1) && c <= 0 {
 			panic(fmt.Sprintf("route: non-positive edge cost %v on %d-%d", c, e.A, e.B))
 		}
-		costOf[e.Index()] = c
+		t.costOf[e.Index()] = c
 	}
 	scratch := &buildScratch{dist: make([]float64, n)}
 	for dst := 0; dst < n; dst++ {
-		buildForDst(g, topo.NodeID(dst), costOf, t, scratch)
+		buildForDst(g, topo.NodeID(dst), t.costOf, t, scratch)
 	}
 	return t
+}
+
+// Repair updates the table in place after exactly one edge's cost changed
+// (a link failed, recovered, or was re-priced), re-running Dijkstra only
+// for the destination columns whose shortest-path structure the change can
+// touch. For a cost increase or removal those are the destinations whose
+// shortest-path DAG traversed the edge (the edge was tight:
+// |dist(A,dst) − dist(B,dst)| = oldCost); for a decrease or restore, the
+// destinations where the new cost creates a shorter or newly tied path
+// (newCost + min(dist(A,dst), dist(B,dst)) ≤ max(...)). Both tests are
+// O(1) per destination against the stored distance matrix, so a repair
+// costs O(n) to triage plus one buildForDst per affected column — and a
+// repaired column is bit-identical to what a fresh Build would produce,
+// because it IS a fresh buildForDst over the same cost snapshot.
+//
+// For a sequence of simultaneous changes (a node loss downs several
+// links), call Repair once per edge: each call triages against the
+// then-current distances, which keeps the single-edge tests sound.
+//
+// Rebuilt columns append fresh tie lists to the shared arena; the old
+// segments are orphaned, so a table repaired thousands of times grows its
+// arena — rebuild from scratch if repair churn ever dominates. Returns the
+// number of destination columns rebuilt.
+func (t *Table) Repair(g *topo.Graph, cost CostFunc, e *topo.Edge) int {
+	if cost == nil {
+		cost = UniformCost
+	}
+	c1 := cost(e)
+	if !math.IsInf(c1, 1) && c1 <= 0 {
+		panic(fmt.Sprintf("route: non-positive edge cost %v on %d-%d", c1, e.A, e.B))
+	}
+	c0 := t.costOf[e.Index()]
+	if c1 == c0 {
+		return 0
+	}
+	t.costOf[e.Index()] = c1
+	n := t.n
+	a, b := int(e.A), int(e.B)
+	const eps = 1e-9
+	scratch := &buildScratch{dist: make([]float64, n)}
+	rebuilt := 0
+	for dst := 0; dst < n; dst++ {
+		da, db := t.dist[a*n+dst], t.dist[b*n+dst]
+		affected := false
+		if !math.IsInf(c0, 1) && !math.IsInf(da, 1) && !math.IsInf(db, 1) {
+			gap := da - db
+			if gap < 0 {
+				gap = -gap
+			}
+			affected = math.Abs(gap-c0) < eps // e was on dst's shortest-path DAG
+		}
+		if !affected && !math.IsInf(c1, 1) {
+			lo, hi := da, db
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// hi may be +Inf (connectivity restored): c1+lo ≤ Inf triggers.
+			affected = !math.IsInf(lo, 1) && c1+lo <= hi+eps
+		}
+		if affected {
+			buildForDst(g, topo.NodeID(dst), t.costOf, t, scratch)
+			rebuilt++
+		}
+	}
+	return rebuilt
 }
 
 // buildScratch is per-destination working memory reused across the n
@@ -117,6 +193,11 @@ func buildForDst(g *topo.Graph, dst topo.NodeID, costOf []float64, t *Table, s *
 	for from := 0; from < n; from++ {
 		idx := from*n + int(dst)
 		t.dist[idx] = dist[from]
+		// Clear before recording: on a Repair rebuild a pair that became
+		// unreachable must not keep the stale pre-failure next hop.
+		t.primary[idx] = nil
+		t.ecmpOff[idx] = 0
+		t.ecmpCnt[idx] = 0
 		if topo.NodeID(from) == dst || math.IsInf(dist[from], 1) {
 			continue
 		}
@@ -141,7 +222,9 @@ func buildForDst(g *topo.Graph, dst topo.NodeID, costOf []float64, t *Table, s *
 }
 
 // NextHop returns the deterministic best next-hop edge from from toward to.
-// ok is false for self-delivery or unreachable destinations.
+// ok is false for self-delivery or unreachable destinations — including
+// pairs partitioned by a failure and repaired into the table afterwards
+// (buildForDst clears the stale hop rather than leaving the dead edge).
 func (t *Table) NextHop(from, to topo.NodeID) (*topo.Edge, bool) {
 	if from == to {
 		return nil, false
@@ -175,12 +258,17 @@ func (t *Table) Reachable(from, to topo.NodeID) bool {
 	return !math.IsInf(t.Distance(from, to), 1)
 }
 
-// Path materializes the primary path as an edge list. It returns an error
-// if the table is inconsistent (a routing loop), which would indicate a
-// build bug rather than a network condition.
+// Path materializes the primary path as an edge list. An unreachable
+// destination — a genuine partition — returns an error wrapping
+// ErrUnreachable (never a zero-value path); any other error means the
+// table is inconsistent (a routing loop), which would indicate a build bug
+// rather than a network condition.
 func (t *Table) Path(from, to topo.NodeID) ([]*topo.Edge, error) {
 	if from == to {
 		return nil, nil
+	}
+	if math.IsInf(t.Distance(from, to), 1) {
+		return nil, fmt.Errorf("route: %d→%d: %w", from, to, ErrUnreachable)
 	}
 	var path []*topo.Edge
 	cur := from

@@ -39,6 +39,11 @@ type Edge struct {
 	// changes once assigned and is never reused, so solvers can key flat
 	// per-link arrays on it instead of iterating pointer maps.
 	idx int
+
+	// disabled marks the edge administratively down (fault injection /
+	// maintenance). A disabled edge keeps its index, its adjacency slots,
+	// and its physical link state — only routing-cost functions consult it.
+	disabled bool
 }
 
 // ID returns the underlying link's identity.
@@ -64,6 +69,18 @@ func (e *Edge) Other(n NodeID) NodeID {
 
 // Touches reports whether n is an endpoint of e.
 func (e *Edge) Touches(n NodeID) bool { return e.A == n || e.B == n }
+
+// Enabled reports whether the edge is administratively up. Edges start
+// enabled; the fault-injection layer toggles them.
+func (e *Edge) Enabled() bool { return !e.disabled }
+
+// SetEnabled marks the edge administratively up or down without removing
+// it: Index, adjacency, and the Edge.Index() space PR-stable solvers key
+// flat arrays on are all untouched. Disabling an edge is how a link
+// failure is modeled — cost functions price disabled edges at +Inf so
+// routing steers around them, and re-enabling restores the original
+// topology bit-for-bit.
+func (e *Edge) SetEnabled(up bool) { e.disabled = !up }
 
 // Options configures topology construction.
 type Options struct {

@@ -366,3 +366,44 @@ func TestEdgeIndexStable(t *testing.T) {
 		t.Fatalf("bound %d, want %d", g.EdgeIndexBound(), bound+2)
 	}
 }
+
+// TestEdgeEnableDisable: administrative enable/disable is pure annotation —
+// it must not move indexes, adjacency, edge count, or physical link state,
+// and must round-trip. The stable Edge.Index space is what the fluid
+// solver's flat per-link arrays are keyed on, so this is load-bearing.
+func TestEdgeEnableDisable(t *testing.T) {
+	g := NewGrid(3, 3, Options{})
+	bound := g.EdgeIndexBound()
+	edges := len(g.Edges())
+	e := g.Edges()[4]
+	if !e.Enabled() {
+		t.Fatal("edges must start enabled")
+	}
+	idx := e.Index()
+	e.SetEnabled(false)
+	if e.Enabled() {
+		t.Fatal("disable did not stick")
+	}
+	if e.Index() != idx {
+		t.Fatalf("index moved on disable: %d → %d", idx, e.Index())
+	}
+	if g.EdgeIndexBound() != bound || len(g.Edges()) != edges {
+		t.Fatal("disable disturbed the edge space")
+	}
+	if !e.Link.Up() {
+		t.Fatal("disable must not touch physical link state")
+	}
+	found := false
+	for _, adj := range g.Adjacent(e.A) {
+		if adj == e {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("disabled edge dropped from adjacency")
+	}
+	e.SetEnabled(true)
+	if !e.Enabled() {
+		t.Fatal("enable did not round-trip")
+	}
+}
