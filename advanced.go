@@ -41,6 +41,9 @@ type BurstChannelConfig struct {
 // instance (seeded from the cluster seed), matching real bundles whose
 // lanes fail independently.
 func (c *Cluster) AttachBurstChannel(a, b int, cfg BurstChannelConfig) error {
+	if c.pk == nil {
+		return errPacketOnly("burst channel models")
+	}
 	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
 	if !ok {
 		return fmt.Errorf("rackfab: no link between %d and %d", a, b)
@@ -63,6 +66,9 @@ func (c *Cluster) AttachBurstChannel(a, b int, cfg BurstChannelConfig) error {
 // DetachBurstChannel removes burst models from the link joining a and b,
 // freezing each lane at its current BER.
 func (c *Cluster) DetachBurstChannel(a, b int) error {
+	if c.pk == nil {
+		return errPacketOnly("burst channel models")
+	}
 	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
 	if !ok {
 		return fmt.Errorf("rackfab: no link between %d and %d", a, b)
@@ -76,8 +82,12 @@ func (c *Cluster) DetachBurstChannel(a, b int) error {
 // SetValiantRouting switches the fabric between shortest-path forwarding
 // (default) and Valiant load balancing — the oblivious two-phase
 // discipline the A3 ablation compares against the CRC's adaptive pricing.
+// A no-op on the fluid engine, which always routes shortest-path.
 func (c *Cluster) SetValiantRouting(enabled bool) {
-	c.fab.SetVLB(enabled)
+	if c.pk == nil {
+		return
+	}
+	c.pk.fab.SetVLB(enabled)
 }
 
 // LinkPrice is one entry of the CRC's price book.
@@ -94,10 +104,10 @@ type LinkPrice struct {
 // LinkPrices snapshots the CRC's current per-link price tags, sorted by
 // link identity. It returns nil without control enabled.
 func (c *Cluster) LinkPrices() []LinkPrice {
-	if c.ctl == nil {
+	if c.pk == nil || c.pk.ctl == nil {
 		return nil
 	}
-	snap := c.ctl.Prices().Snapshot()
+	snap := c.pk.ctl.Prices().Snapshot()
 	out := make([]LinkPrice, 0, len(snap))
 	for _, entry := range snap {
 		e, ok := c.graph.LinkByID(entry.Link)

@@ -152,6 +152,50 @@ func BenchmarkFluidEngine4096(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterFluidRun prices the public façade against driving
+// internal/fluid directly: both arms run the identical 256-node grid
+// permutation (same RNG stream, simultaneous arrivals), the facade arm
+// through New/Inject/RunUntilDone on EngineFluid, the internal arm through
+// fluid.Run. The facade arm is the gated one (BENCH_fluid.json) — its
+// overhead over the internal arm must stay within noise, since the façade
+// adds only spec conversion, handle bookkeeping, and the session stepper
+// around the same solver.
+func BenchmarkClusterFluidRun(b *testing.B) {
+	b.Run("facade", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster, err := rackfab.New(rackfab.Config{
+				Topology: rackfab.Grid, Width: 16, Height: 16,
+				Engine: rackfab.EngineFluid, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cluster.Inject(rackfab.PermutationTraffic(cluster, 1e6)); err != nil {
+				b.Fatal(err)
+			}
+			if err := cluster.RunUntilDone(time.Minute); err != nil {
+				b.Fatal(err)
+			}
+			if cluster.Report().FlowsCompleted != 256 {
+				b.Fatal("incomplete run")
+			}
+		}
+	})
+	b.Run("internal", func(b *testing.B) {
+		specs := workload.Permutation(sim.NewRNG(1).Split("traffic/permutation"), 256, workload.Fixed(1e6))
+		for i := 0; i < b.N; i++ {
+			g := topo.NewGrid(16, 16, topo.Options{})
+			res, err := fluid.Run(fluid.Config{Graph: g}, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Flows) != 256 {
+				b.Fatal("incomplete run")
+			}
+		}
+	})
+}
+
 // BenchmarkRouteRebuild measures a full price-driven routing rebuild on a
 // 256-node torus — the CRC pays this every epoch.
 func BenchmarkRouteRebuild(b *testing.B) {

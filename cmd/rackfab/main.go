@@ -24,6 +24,7 @@ func main() {
 	plotFlag := flag.Bool("plot", false, "render figures as ASCII charts where available")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials: 0 = one per CPU, 1 = sequential; results are identical at any setting")
 	expFlag := flag.String("experiment", "", "experiment ID to run (equivalent to the positional form)")
+	engineFlag := flag.String("engine", "", "simulation backend: packet or fluid (sim: selects the cluster engine; experiments: validates/filters by the experiment's engine)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -41,6 +42,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rackfab: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	switch *engineFlag {
+	case "", "packet", "fluid":
+	default:
+		fmt.Fprintf(os.Stderr, "rackfab: unknown engine %q (want packet or fluid)\n", *engineFlag)
+		os.Exit(2)
+	}
 	cfg := experiment.Config{Scale: scale, Parallel: *parallel}
 
 	// -experiment overrides the positional form; its sub-arguments are
@@ -54,7 +61,7 @@ func main() {
 	}
 	switch arg {
 	case "sim":
-		if err := runSim(rest); err != nil {
+		if err := runSim(rest, *engineFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "rackfab: sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -66,6 +73,9 @@ func main() {
 		return
 	case "all":
 		for _, id := range experiment.IDs() {
+			if eng, _ := experiment.EngineOf(id); *engineFlag != "" && eng != *engineFlag {
+				continue // -engine filters the sweep to one backend
+			}
 			if err := runOne(id, cfg, *csvPath, *plotFlag); err != nil {
 				fmt.Fprintf(os.Stderr, "rackfab: %s: %v\n", id, err)
 				os.Exit(1)
@@ -74,6 +84,10 @@ func main() {
 		}
 		return
 	default:
+		if eng, ok := experiment.EngineOf(arg); ok && *engineFlag != "" && eng != *engineFlag {
+			fmt.Fprintf(os.Stderr, "rackfab: %s runs on the %s engine, not %s (see `rackfab list`)\n", arg, eng, *engineFlag)
+			os.Exit(2)
+		}
 		if err := runOne(arg, cfg, *csvPath, *plotFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "rackfab: %s: %v\n", arg, err)
 			os.Exit(1)
@@ -117,13 +131,18 @@ func runOne(id string, cfg experiment.Config, csvPath string, plot bool) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: rackfab [-scale quick|full] [-parallel N] [-csv path] <experiment|list|all>
+	fmt.Fprintf(os.Stderr, `usage: rackfab [-scale quick|full] [-parallel N] [-engine packet|fluid] [-csv path] <experiment|list|all>
        rackfab -experiment <id> [flags]
        rackfab sim [-topo grid] [-width 4] [-height 4] [-workload uniform] …
 
 -parallel N fans an experiment's independent trials over N workers
 (0 = one per CPU, 1 = sequential). Every trial owns its own engine,
 fabric, and RNG streams, so output is byte-identical at any setting.
+
+-engine selects the simulation backend: for `+"`sim`"+` it picks the
+cluster engine (packet = cycle-accurate datapath, fluid = flow-level
+solver for large topologies); for an experiment it validates against
+the experiment's engine, and for `+"`all`"+` it filters the sweep.
 
 experiments:
 `)

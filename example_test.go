@@ -60,6 +60,35 @@ func ExampleCluster_ApplyGridToTorus() {
 	// mean hops: 2.67 -> 2.13
 }
 
+// Example_fluidFaults runs a faulted permutation on the fluid engine —
+// the shape of the large-scale churn studies, entirely through the public
+// API: no internal imports, one Engine field, one replayable schedule.
+func Example_fluidFaults() {
+	cluster, err := rackfab.New(rackfab.Config{
+		Topology: rackfab.Grid, Width: 8, Height: 8,
+		Engine: rackfab.EngineFluid, Seed: 42,
+		Faults: rackfab.NewFaultSchedule(
+			rackfab.FaultSpec{At: 100 * time.Microsecond, Kind: rackfab.LinkDown, A: 27, B: 28},
+			rackfab.FaultSpec{At: 400 * time.Microsecond, Kind: rackfab.LinkUp, A: 27, B: 28},
+		),
+	})
+	if err != nil {
+		panic(err)
+	}
+	flows, err := cluster.Inject(rackfab.PermutationTraffic(cluster, 1e6))
+	if err != nil {
+		panic(err)
+	}
+	if err := cluster.RunUntilDone(time.Minute); err != nil {
+		panic(err)
+	}
+	rep := cluster.Report()
+	fmt.Printf("flows: %d/%d complete, capacity events: %d, rerouted around the flap: %v\n",
+		rep.FlowsCompleted, len(flows), rep.Faults.CapacityEvents, rep.Faults.Reroutes > 0)
+	// Output:
+	// flows: 64/64 complete, capacity events: 2, rerouted around the flap: true
+}
+
 // ExampleMinFlowSizeForBypass evaluates the paper's central optimization:
 // the smallest flow for which a reconfiguration pays for itself.
 func ExampleMinFlowSizeForBypass() {

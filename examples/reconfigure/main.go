@@ -1,81 +1,86 @@
-// Reconfigure: adaptive reconfiguration driven by a fault schedule. The
-// paper's fabric earns the word "adaptive" by re-pricing, re-routing, and
-// reconfiguring around link health, so this example injects link health
-// events directly: a deterministic faults.Schedule — transceiver
-// degradation, a link failure, a node loss, and their repairs — replayed
-// against a grid fabric carrying a full permutation. The run reroutes
-// flows around each failure over the incrementally repaired routing
-// table, parks the flows a partition strands until their repair heals it,
-// and reports what the churn cost: throughput degradation, P99 inflation,
-// and mean service-recovery time. Everything is a pure function of the
-// seed and the schedule — replay it and every byte matches.
+// Reconfigure: adaptive reconfiguration driven by a fault schedule,
+// entirely through the public API. The paper's fabric earns the word
+// "adaptive" by re-pricing, re-routing, and reconfiguring around link
+// health, so this example injects link health events directly: a
+// deterministic FaultSchedule — transceiver degradation, a link failure, a
+// node loss, and their repairs, plus a seeded burst of Poisson flaps —
+// replayed against a 256-node grid carrying a full permutation on the
+// fluid engine. The run reroutes flows around each failure over the
+// incrementally repaired routing table, parks the flows a partition
+// strands until their repair heals it, and the report says what the churn
+// cost. Everything is a pure function of the seed and the schedule —
+// replay it and every byte matches. The same program at Width/Height 64
+// is the paper-scale 4096-node faulted permutation.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"rackfab/internal/faults"
-	"rackfab/internal/fluid"
-	"rackfab/internal/sim"
-	"rackfab/internal/telemetry"
-	"rackfab/internal/topo"
-	"rackfab/internal/workload"
+	"rackfab"
 )
 
-func main() {
-	const side = 8
-	g := topo.NewGrid(side, side, topo.Options{})
-	specs := workload.Permutation(sim.NewRNG(42), side*side, workload.Fixed(2e6))
+const side = 16 // 256 nodes; 64 here reproduces the 4096-node study
 
-	// Phase 1: healthy baseline.
-	base, err := fluid.Run(fluid.Config{Graph: g}, specs)
+func run(sched *rackfab.FaultSchedule) (rackfab.Report, []*rackfab.Flow, *rackfab.FaultSchedule) {
+	cluster, err := rackfab.New(rackfab.Config{
+		Topology: rackfab.Grid, Width: side, Height: side,
+		Engine: rackfab.EngineFluid, Seed: 42,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("baseline: %d flows, mean FCT %v, p99 %v, JCT %v\n\n",
-		len(base.Flows), base.MeanFCT, base.P99FCT, base.JCT)
+	if sched == nil {
+		// Deterministic hand-written timeline: an aging transceiver halves
+		// one link, a central link fails and is repaired, a whole node
+		// drops off the fabric and returns — merged with a seeded burst of
+		// Poisson flaps. Times are anchored where a healthy permutation is
+		// mid-flight at this scale.
+		// Targets derive from side so the program scales: a horizontal
+		// pair on row 2, a vertical pair between rows 5 and 6, the center
+		// node (nodes number row-major).
+		aging := side*2 + 2
+		fail := side*5 + 1
+		center := side*side/2 + side/2
+		sched = rackfab.NewFaultSchedule(
+			rackfab.FaultSpec{At: 100 * time.Microsecond, Kind: rackfab.LinkDegrade, A: aging, B: aging + 1, Frac: 0.5},
+			rackfab.FaultSpec{At: 200 * time.Microsecond, Kind: rackfab.LinkDown, A: fail, B: fail + side},
+			rackfab.FaultSpec{At: 900 * time.Microsecond, Kind: rackfab.LinkUp, A: fail, B: fail + side},
+			rackfab.FaultSpec{At: 300 * time.Microsecond, Kind: rackfab.NodeDown, Node: center},
+			rackfab.FaultSpec{At: 600 * time.Microsecond, Kind: rackfab.NodeUp, Node: center},
+		).Merge(rackfab.PoissonFlaps(cluster, rackfab.FlapConfig{
+			Flaps: 4, Start: 150 * time.Microsecond,
+			MeanGap: 200 * time.Microsecond, MeanOutage: 300 * time.Microsecond,
+		}))
+	}
+	if err := cluster.ApplyFaults(sched); err != nil {
+		log.Fatal(err)
+	}
+	flows, err := cluster.Inject(rackfab.PermutationTraffic(cluster, 1e6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.RunUntilDone(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	return cluster.Report(), flows, sched
+}
 
-	// Phase 2: the fault timeline, anchored to the baseline JCT so every
-	// event lands mid-traffic. An aging transceiver halves one link, a
-	// link on the hot center column fails outright and is repaired, and a
-	// whole node drops off the fabric and returns — the schedule is the
-	// reconfiguration driver, each event a plain (At, Target, Kind) record.
-	// The failing link is deliberately NOT incident to the lost node:
-	// NodeUp restores every edge at its node, which would end an
-	// overlapping independent link outage early.
-	jct := base.JCT
-	agingEdge, _ := g.EdgeBetween(g.NodeAt(2, 2), g.NodeAt(3, 2))
-	failEdge, _ := g.EdgeBetween(g.NodeAt(1, 5), g.NodeAt(2, 5))
-	lostNode := g.NodeAt(side/2, side/2)
-	sched := faults.New(
-		faults.Event{At: sim.Time(jct / 10), Target: agingEdge.Index(), Kind: faults.Degrade, Frac: 0.5},
-		faults.Event{At: sim.Time(jct / 5), Target: failEdge.Index(), Kind: faults.LinkDown},
-		faults.Event{At: sim.Time(jct / 2), Target: failEdge.Index(), Kind: faults.LinkUp},
-		faults.Event{At: sim.Time(jct / 10 * 3), Target: int(lostNode), Kind: faults.NodeDown},
-		faults.Event{At: sim.Time(jct / 10 * 4), Target: int(lostNode), Kind: faults.NodeUp},
-	)
+func main() {
+	// Healthy baseline: the same cluster, no schedule.
+	baseline, baseFlows, _ := run(rackfab.NewFaultSchedule())
+	baseJCT, _ := rackfab.JobCompletionTime(baseFlows)
+	fmt.Printf("baseline: %d flows, FCT p99 %.2fus, JCT %v\n\n",
+		baseline.FlowsCompleted, baseline.FCT.P99Us, baseJCT)
+
+	churn, flows, sched := run(nil)
 	fmt.Println("fault schedule (replayable, byte-stable):")
 	fmt.Print(sched)
 
-	reg := telemetry.NewRegistry()
-	sm := fluid.NewSolverMetrics(reg)
-	churn, err := fluid.Run(fluid.Config{Graph: g, Faults: sched, Metrics: sm}, specs)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Phase 3: what adaptivity cost — and what it saved.
-	fmt.Printf("\nunder churn: mean FCT %v, p99 %v, JCT %v\n", churn.MeanFCT, churn.P99FCT, churn.JCT)
-	fmt.Printf("  capacity events applied   %d (node loss lowered to its links)\n", churn.Faults.CapacityEvents)
-	fmt.Printf("  route columns repaired    %d (incremental Dijkstra, not full rebuilds)\n", churn.Faults.RouteRepairs)
-	fmt.Printf("  flows rerouted mid-run    %d\n", churn.Faults.Reroutes)
-	fmt.Printf("  starvation episodes       %d (flows a partition stranded until repair)\n", churn.Faults.StarvedEpisodes)
-	if churn.Faults.StarvedEpisodes > 0 {
-		fmt.Printf("  mean service recovery     %v\n", churn.Faults.StarvedTime/sim.Duration(churn.Faults.StarvedEpisodes))
-	}
-	fmt.Printf("  warm-start oracle hits    %.1f%% of refills\n", sm.WarmHitPct())
+	jct, _ := rackfab.JobCompletionTime(flows)
+	fmt.Printf("\nunder churn: JCT %v\n%s\n", jct, churn)
 	fmt.Printf("\nthroughput degradation %.1f%%, p99 inflation %.1f%%\n",
-		(1-float64(base.JCT)/float64(churn.JCT))*100,
-		(float64(churn.P99FCT)/float64(base.P99FCT)-1)*100)
+		(1-float64(baseJCT)/float64(jct))*100,
+		(churn.FCT.P99Us/baseline.FCT.P99Us-1)*100)
 }

@@ -9,24 +9,28 @@ import (
 type Runner func(Config) (*Table, error)
 
 // registry maps experiment IDs (DESIGN.md per-experiment index) to
-// runners.
+// runners. Engine names the simulation backend the experiment's trials run
+// on — "packet" (cycle-accurate datapath), "fluid" (flow-level solver; E8
+// additionally cross-checks one packet trial) — so the CLI's -engine flag
+// can select and validate.
 var registry = map[string]struct {
-	Run  Runner
-	Desc string
+	Run    Runner
+	Desc   string
+	Engine string
 }{
-	"fig1": {Fig1, "Figure 1: media propagation vs cut-through switching latency"},
-	"fig2": {Fig2, "Figure 2: grid 2-lane → torus 1-lane CRC reconfiguration"},
-	"e3":   {E3, "MapReduce shuffle: slowest link gates the job; CRC recovery"},
-	"e4":   {E4, "power budget enforcement via PLP #3 lane shedding"},
-	"e5":   {E5, "minimum flow size σ* for which reconfiguration pays"},
-	"e6":   {E6, "adaptive FEC across a BER sweep"},
-	"e7":   {E7, "small-scale sim vs NetFPGA-SUME-class PoC validation"},
-	"e8":   {E8, "scale sweep 64→4096 nodes on the fluid engine"},
-	"e9":   {E9, "adaptive FEC on a bursty (Gilbert–Elliott) channel"},
-	"e10":  {E10, "churn: degradation + recovery under Poisson link flaps and node loss"},
-	"a1":   {A1, "ablation: CRC price-weight terms under hotspot load"},
-	"a2":   {A2, "ablation: bypass express channels for elephants"},
-	"a3":   {A3, "ablation: shortest-path vs VLB vs CRC adaptive routing"},
+	"fig1": {Fig1, "Figure 1: media propagation vs cut-through switching latency", "packet"},
+	"fig2": {Fig2, "Figure 2: grid 2-lane → torus 1-lane CRC reconfiguration", "packet"},
+	"e3":   {E3, "MapReduce shuffle: slowest link gates the job; CRC recovery", "packet"},
+	"e4":   {E4, "power budget enforcement via PLP #3 lane shedding", "packet"},
+	"e5":   {E5, "minimum flow size σ* for which reconfiguration pays", "packet"},
+	"e6":   {E6, "adaptive FEC across a BER sweep", "packet"},
+	"e7":   {E7, "small-scale sim vs NetFPGA-SUME-class PoC validation", "packet"},
+	"e8":   {E8, "scale sweep 64→4096 nodes on the fluid engine", "fluid"},
+	"e9":   {E9, "adaptive FEC on a bursty (Gilbert–Elliott) channel", "packet"},
+	"e10":  {E10, "churn: degradation + recovery under Poisson link flaps and node loss", "fluid"},
+	"a1":   {A1, "ablation: CRC price-weight terms under hotspot load", "packet"},
+	"a2":   {A2, "ablation: bypass express channels for elephants", "packet"},
+	"a3":   {A3, "ablation: shortest-path vs VLB vs CRC adaptive routing", "packet"},
 }
 
 // Lookup resolves an experiment ID.
@@ -35,16 +39,19 @@ func Lookup(id string) (Runner, bool) {
 	return e.Run, ok
 }
 
-// List returns "id: description" lines in ID order.
+// EngineOf reports which engine an experiment's trials run on ("packet" or
+// "fluid").
+func EngineOf(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.Engine, ok
+}
+
+// List returns "id: description [engine]" lines in ID order.
 func List() []string {
-	ids := make([]string, 0, len(registry))
-	for id := range registry {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+	ids := IDs()
 	out := make([]string, len(ids))
 	for i, id := range ids {
-		out[i] = fmt.Sprintf("%-5s %s", id, registry[id].Desc)
+		out[i] = fmt.Sprintf("%-5s %s [%s]", id, registry[id].Desc, registry[id].Engine)
 	}
 	return out
 }

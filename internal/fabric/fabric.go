@@ -119,6 +119,11 @@ type Fabric struct {
 	plpQueue     []plpJob
 	plpBusy      bool
 	plpServed    int
+
+	// Fault replay (see faults.go): stable edge-index lookup and the
+	// applied-event counters Report surfaces.
+	edgeByIdx  []*topo.Edge
+	faultStats FaultStats
 }
 
 // New assembles a fabric over the given graph.

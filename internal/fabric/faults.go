@@ -1,0 +1,149 @@
+// Packet-engine fault replay: the fabric consumes the same replayable
+// faults.Schedule the fluid engine takes via its Config, as simulation
+// events on its own clock. Each event group administratively toggles the
+// affected edges (and darkens lanes for degrades), then repairs the live
+// routing table incrementally in one batch triage — no oracle full rebuild.
+// With the Closed Ring Control running, the next epoch's collection sees
+// the changed fabric (disabled edges price to +Inf, darkened bundles lose
+// effective rate) and the CRC's own re-pricing loop takes over the healing;
+// the immediate incremental repair only keeps forwarding loop-free between
+// the fault instant and that epoch.
+
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"rackfab/internal/faults"
+	"rackfab/internal/phy"
+	"rackfab/internal/topo"
+)
+
+// FaultStats counts the fabric's applied fault replay, mirroring the fluid
+// engine's accounting: capacity events after node-loss lowering, and
+// routing-table destination columns rebuilt by incremental repair.
+type FaultStats struct {
+	CapacityEvents int64
+	RouteRepairs   int64
+}
+
+// FaultStats returns the replay counters accumulated so far.
+func (f *Fabric) FaultStats() FaultStats { return f.faultStats }
+
+// ScheduleFaults validates the schedule, lowers it to per-link capacity
+// events, and registers them on the simulation clock. Events sharing one
+// instant — a node loss lowered to its incident edges — apply as a single
+// group: every administrative change lands first, then one RepairBatch
+// triages the group's edges against the current table. onApply, when
+// non-nil, observes each applied group (the Closed Ring Control uses it to
+// put replayed faults on its decision log). Returns the number of capacity
+// events scheduled.
+//
+// The degrade lowering is necessarily discrete on the packet engine: a
+// Degrade(frac) darkens lanes until at most max(1, round(frac·lanes)) stay
+// active, so a 2-lane link degrades in halves, not to an arbitrary
+// fraction. LinkUp restores the edge and every administratively darkened
+// lane; lanes in bypass, training, or failed states are never touched.
+func (f *Fabric) ScheduleFaults(sched *faults.Schedule, onApply func(evs []faults.LinkEvent, repairedCols int)) (int, error) {
+	evs, err := sched.Links(f.g)
+	if err != nil {
+		return 0, err
+	}
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	if f.edgeByIdx == nil {
+		f.edgeByIdx = make([]*topo.Edge, f.g.EdgeIndexBound())
+		for _, e := range f.g.Edges() {
+			f.edgeByIdx[e.Index()] = e
+		}
+	}
+	for start := 0; start < len(evs); {
+		end := start
+		for end < len(evs) && evs[end].At == evs[start].At {
+			end++
+		}
+		group := evs[start:end]
+		at := group[0].At
+		if at < f.eng.Now() {
+			at = f.eng.Now() // late registration: apply at once, like InjectFlows
+		}
+		f.eng.At(at, "fault", func() {
+			cols := f.applyFaultGroup(group)
+			if onApply != nil {
+				onApply(group, cols)
+			}
+		})
+		start = end
+	}
+	return len(evs), nil
+}
+
+// applyFaultGroup applies one instant's capacity events and repairs the
+// routing table once. Returns the number of destination columns rebuilt.
+func (f *Fabric) applyFaultGroup(evs []faults.LinkEvent) int {
+	edges := make([]*topo.Edge, len(evs))
+	for i, ev := range evs {
+		e := f.edgeByIdx[ev.Edge]
+		edges[i] = e
+		f.faultStats.CapacityEvents++
+		switch {
+		case ev.Factor == 0:
+			e.SetEnabled(false)
+		case ev.Factor >= 1:
+			e.SetEnabled(true)
+			f.setActiveLanes(e, len(e.Link.Lanes))
+		default:
+			e.SetEnabled(true)
+			f.setActiveLanes(e, int(math.Round(ev.Factor*float64(len(e.Link.Lanes)))))
+		}
+	}
+	cols := f.table.RepairBatch(f.g, f.costFn, edges)
+	f.faultStats.RouteRepairs += int64(cols)
+	if cols > 0 && f.vlb != nil {
+		f.SetVLB(true) // re-derive VLB over the repaired table
+	}
+	f.samplePower()
+	return cols
+}
+
+// setActiveLanes darkens or relights administratively togglable lanes
+// (LaneUp/LaneOff only) until `target` of them carry traffic, clamped to
+// [1, togglable]. Lanes darken from the bundle's tail and relight from the
+// head, the same deterministic order the public DisableLanes surface uses.
+func (f *Fabric) setActiveLanes(e *topo.Edge, target int) {
+	togglable := 0
+	for _, lane := range e.Link.Lanes {
+		if s := lane.State(); s == phy.LaneUp || s == phy.LaneOff {
+			togglable++
+		}
+	}
+	if togglable == 0 {
+		return
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > togglable {
+		target = togglable
+	}
+	// Relight head-first up to target, darken the rest tail-first.
+	seen := 0
+	for _, lane := range e.Link.Lanes {
+		s := lane.State()
+		if s != phy.LaneUp && s != phy.LaneOff {
+			continue
+		}
+		want := phy.LaneUp
+		if seen >= target {
+			want = phy.LaneOff
+		}
+		seen++
+		if s != want {
+			if err := lane.SetState(want); err != nil {
+				panic(fmt.Sprintf("fabric: fault lane toggle on link %d: %v", e.Link.ID, err))
+			}
+		}
+	}
+}

@@ -23,7 +23,6 @@
 package fluid
 
 import (
-	"fmt"
 	"sort"
 
 	"rackfab/internal/faults"
@@ -133,137 +132,64 @@ type Result struct {
 	Faults FaultStats
 }
 
+// specLess is the canonical spec order: (At, Src, Dst, Bytes, Label).
+func specLess(a, b workload.FlowSpec) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	return a.Label < b.Label
+}
+
+// canonicalOrder returns the permutation canonicalize applies: order[i] is
+// the canonical flow ID assigned to input spec i. Stable-sorting indexes by
+// the spec key yields exactly the permutation a stable sort of the values
+// performs, so the two stay interchangeable.
+func canonicalOrder(specs []workload.FlowSpec) []int {
+	idx := make([]int, len(specs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return specLess(specs[idx[a]], specs[idx[b]]) })
+	order := make([]int, len(specs))
+	for id, in := range idx {
+		order[in] = id
+	}
+	return order
+}
+
 // canonicalize returns the specs sorted by (At, Src, Dst, Bytes, Label).
 // Flow IDs are indexes into this order, which makes every tie-break — and
 // therefore the whole run — independent of the caller's spec ordering.
 func canonicalize(specs []workload.FlowSpec) []workload.FlowSpec {
 	sorted := append([]workload.FlowSpec(nil), specs...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.At != b.At {
-			return a.At < b.At
-		}
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		if a.Dst != b.Dst {
-			return a.Dst < b.Dst
-		}
-		if a.Bytes != b.Bytes {
-			return a.Bytes < b.Bytes
-		}
-		return a.Label < b.Label
-	})
+	sort.SliceStable(sorted, func(i, j int) bool { return specLess(sorted[i], sorted[j]) })
 	return sorted
 }
 
-// Run executes the fluid simulation over the given specs.
+// Run executes the fluid simulation over the given specs: a Session
+// advanced to completion in one shot, with the graph's administrative link
+// state restored on every exit path so a faulted run leaves the topology as
+// it found it (warm/cold replays and baseline-vs-churn trials share
+// graphs).
 func Run(cfg Config, specs []workload.FlowSpec) (*Result, error) {
-	if cfg.Graph == nil {
-		return nil, fmt.Errorf("fluid: config needs a graph")
-	}
-	if err := workload.ValidateSpecs(specs, cfg.Graph.NumNodes()); err != nil {
+	s, err := NewSession(cfg, specs)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.PerHopLatency <= 0 {
-		cfg.PerHopLatency = 450 * sim.Nanosecond
+	defer s.RestoreGraph()
+	if err := s.Advance(sim.Forever); err != nil {
+		return nil, err
 	}
-	if cfg.Limit == 0 {
-		cfg.Limit = sim.Forever
-	}
-
-	en := newEngine(cfg.Graph, cfg.PerHopLatency)
-	en.cold = cfg.coldStart
-	if err := en.addFlows(canonicalize(specs)); err != nil {
-		return nil, fmt.Errorf("fluid: routing: %w", err)
-	}
-
-	// Lower the fault schedule to per-link capacity events up front, and
-	// restore the graph's administrative link state on every exit path so
-	// a faulted run leaves the topology as it found it (warm/cold replays
-	// and baseline-vs-churn trials share graphs).
-	linkEvents, err := cfg.Faults.Links(cfg.Graph)
-	if err != nil {
-		return nil, fmt.Errorf("fluid: faults: %w", err)
-	}
-	if len(linkEvents) > 0 {
-		edges := cfg.Graph.Edges()
-		enabled := make([]bool, len(edges))
-		for i, e := range edges {
-			enabled[i] = e.Enabled()
-		}
-		defer func() {
-			for i, e := range edges {
-				e.SetEnabled(enabled[i])
-			}
-		}()
-	}
-
-	res := &Result{Flows: make([]FlowResult, 0, len(en.flows))}
-	now := sim.Time(0)
-	arrived := 0
-	faulted := 0
-
-	for arrived < len(en.flows) || en.activeCount > 0 {
-		nextDone, doneID := en.nextDone()
-		nextArrival := sim.Forever
-		if arrived < len(en.flows) {
-			nextArrival = en.flows[arrived].spec.At
-			if nextArrival < now {
-				nextArrival = now
-			}
-		}
-		nextFault := sim.Forever
-		if faulted < len(linkEvents) {
-			nextFault = linkEvents[faulted].At
-			if nextFault < now {
-				nextFault = now
-			}
-		}
-		next := nextDone
-		if nextArrival < next {
-			next = nextArrival
-		}
-		if nextFault < next {
-			next = nextFault
-		}
-		if next == sim.Forever {
-			if en.starvedNow > 0 {
-				return nil, fmt.Errorf("fluid: %d flows starved behind an unhealed partition at %v (no repair scheduled)", en.starvedNow, now)
-			}
-			return nil, fmt.Errorf("fluid: stalled at %v with %d active flows and no progress", now, en.activeCount)
-		}
-		if next > cfg.Limit {
-			return nil, fmt.Errorf("fluid: time limit %v exceeded with %d flows left", cfg.Limit, en.activeCount+len(en.flows)-arrived)
-		}
-		now = next
-
-		// Faults win exact ties against both flow event kinds — capacity is
-		// infrastructure, so a same-instant arrival already sees the new
-		// topology. Arrivals win ties against completions, as in the
-		// original engine; tied completions resolve in flow-ID order via
-		// the heap.
-		switch {
-		case next == nextFault && faulted < len(linkEvents):
-			en.applyLinkEvent(now, linkEvents[faulted])
-			faulted++
-		case next == nextArrival && arrived < len(en.flows):
-			res.Events++
-			en.arrive(int32(arrived), now)
-			arrived++
-		default:
-			res.Events++
-			res.Flows = append(res.Flows, en.complete(doneID, now))
-		}
-		en.compactDone()
-	}
-	res.Solver = en.stats.SolverStats
-	res.Faults = en.stats.FaultStats
-	if cfg.Metrics != nil {
-		cfg.Metrics.observe(res)
-	}
-	summarize(res)
-	return res, nil
+	return s.finish(), nil
 }
 
 // summarize fills the aggregate fields.
@@ -287,17 +213,18 @@ func summarize(res *Result) {
 	}
 	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
 	res.MeanFCT = sim.Duration(sum / float64(len(fcts)))
-	res.P99FCT = fcts[nearestRank(len(fcts), 99)]
+	res.P99FCT = fcts[NearestRank(len(fcts), 99)]
 	res.JCT = latest.Sub(earliest)
 }
 
-// nearestRank returns the 0-based index of the pct-th percentile sample
+// NearestRank returns the 0-based index of the pct-th percentile sample
 // under the nearest-rank convention: the ceil(pct/100·n)-th smallest of n
 // sorted samples. This is the same rank telemetry.Histogram.Quantile
-// resolves, so fluid tables and histogram summaries agree at every n
-// (n=12 previously disagreed: (n-1)·99/100 indexes the 11th sample where
-// nearest-rank demands the 12th).
-func nearestRank(n, pct int) int {
+// resolves, so fluid tables, histogram summaries, and the public façade's
+// report agree at every n (n=12 previously disagreed: (n-1)·99/100 indexes
+// the 11th sample where nearest-rank demands the 12th). Exported as the
+// ONE definition of the convention — do not re-derive it per caller.
+func NearestRank(n, pct int) int {
 	idx := (n*pct + 99) / 100 // ceil(n·pct/100)
 	if idx < 1 {
 		idx = 1

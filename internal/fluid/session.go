@@ -1,0 +1,262 @@
+package fluid
+
+import (
+	"fmt"
+
+	"rackfab/internal/faults"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// Session is a resumable fluid run: the same event loop Run executes in one
+// shot, exposed as an advance-to-instant stepper so callers with an
+// interactive surface (the public Cluster façade's RunFor/RunUntilDone) can
+// interleave simulated time with inspection. A Session advanced to
+// completion in any sequence of Advance calls produces state byte-identical
+// to a single Run over the same inputs — the loop body is shared, only the
+// stopping condition differs (TestSessionMatchesRun holds the two shapes
+// equal, faulted and fault-free).
+type Session struct {
+	cfg Config
+	en  *engine
+	res *Result
+
+	// order maps input spec positions to canonical flow IDs: order[i] is
+	// the flow ID of the i-th spec handed to NewSession, the handle a
+	// caller uses with FlowStatus.
+	order []int
+
+	linkEvents []faults.LinkEvent
+	now        sim.Time
+	arrived    int
+	faulted    int
+
+	// status caches each flow's completion record by flow ID — Result
+	// keeps completion order, this keeps handle order.
+	status []FlowStatus
+
+	// Administrative link-state snapshot for RestoreGraph (only taken when
+	// the schedule is non-empty, mirroring Run's restore-on-exit contract).
+	savedEdges   []*topo.Edge
+	savedEnabled []bool
+}
+
+// FlowStatus is one flow's progress snapshot. Start and Hops are live for
+// active flows; FCT is valid once Done.
+type FlowStatus struct {
+	Done  bool
+	Start sim.Time
+	FCT   sim.Duration
+	Hops  int
+}
+
+// NewSession validates the configuration, routes the canonicalized specs,
+// and lowers the fault schedule, without running anything: the clock sits
+// at zero until the first Advance.
+func NewSession(cfg Config, specs []workload.FlowSpec) (*Session, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("fluid: config needs a graph")
+	}
+	if err := workload.ValidateSpecs(specs, cfg.Graph.NumNodes()); err != nil {
+		return nil, err
+	}
+	if cfg.PerHopLatency <= 0 {
+		cfg.PerHopLatency = 450 * sim.Nanosecond
+	}
+	if cfg.Limit == 0 {
+		cfg.Limit = sim.Forever
+	}
+
+	en := newEngine(cfg.Graph, cfg.PerHopLatency)
+	en.cold = cfg.coldStart
+	order := canonicalOrder(specs)
+	sorted := make([]workload.FlowSpec, len(specs))
+	for i, s := range specs {
+		sorted[order[i]] = s
+	}
+	if err := en.addFlows(sorted); err != nil {
+		return nil, fmt.Errorf("fluid: routing: %w", err)
+	}
+
+	linkEvents, err := cfg.Faults.Links(cfg.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("fluid: faults: %w", err)
+	}
+	s := &Session{
+		cfg:        cfg,
+		en:         en,
+		res:        &Result{Flows: make([]FlowResult, 0, len(en.flows))},
+		order:      order,
+		linkEvents: linkEvents,
+		status:     make([]FlowStatus, len(en.flows)),
+	}
+	if len(linkEvents) > 0 {
+		s.savedEdges = cfg.Graph.Edges()
+		s.savedEnabled = make([]bool, len(s.savedEdges))
+		for i, e := range s.savedEdges {
+			s.savedEnabled[i] = e.Enabled()
+		}
+	}
+	return s, nil
+}
+
+// Order returns, for each input spec position, the canonical flow ID the
+// session assigned it — the handle FlowStatus takes. The mapping is a pure
+// function of the spec multiset (see canonicalize), independent of input
+// order.
+func (s *Session) Order() []int { return s.order }
+
+// Now returns the session clock.
+func (s *Session) Now() sim.Time { return s.now }
+
+// Done reports whether every flow has arrived and completed.
+func (s *Session) Done() bool {
+	return s.arrived == len(s.en.flows) && s.en.activeCount == 0
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (s *Session) ActiveFlows() int { return s.en.activeCount }
+
+// Remaining returns the number of flows not yet completed (active or not
+// yet arrived).
+func (s *Session) Remaining() int {
+	return s.en.activeCount + len(s.en.flows) - s.arrived
+}
+
+// FlowStatus returns flow id's progress. IDs come from Order.
+func (s *Session) FlowStatus(id int) FlowStatus {
+	st := s.status[id]
+	if !st.Done {
+		f := &s.en.flows[id]
+		st.Start = f.start
+		st.Hops = f.hops
+	}
+	return st
+}
+
+// Advance runs the event loop until the next event lies strictly after
+// `until` (events at exactly `until` are processed), every flow completes,
+// or an error state is reached. The error conditions — starvation behind an
+// unhealed partition, a stall, the configured Limit — are exactly Run's,
+// and they are permanent: the session cannot progress past them. If the
+// run completes before `until`, the clock idles forward to `until` —
+// RunFor semantics.
+func (s *Session) Advance(until sim.Time) error {
+	return s.advance(until, true)
+}
+
+// AdvanceUntilDone is Advance without the idle-forward: when every flow
+// completes before `until`, the clock stops at the last event — the packet
+// engine's RunUntilDone semantics, which the façade keeps interchangeable
+// across engines. A run that does NOT finish by `until` still leaves the
+// clock at `until`, exactly where the packet engine's limit stops it.
+func (s *Session) AdvanceUntilDone(until sim.Time) error {
+	return s.advance(until, false)
+}
+
+func (s *Session) advance(until sim.Time, idleForward bool) error {
+	en := s.en
+	for s.arrived < len(en.flows) || en.activeCount > 0 {
+		nextDone, doneID := en.nextDone()
+		nextArrival := sim.Forever
+		if s.arrived < len(en.flows) {
+			nextArrival = en.flows[s.arrived].spec.At
+			if nextArrival < s.now {
+				nextArrival = s.now
+			}
+		}
+		nextFault := sim.Forever
+		if s.faulted < len(s.linkEvents) {
+			nextFault = s.linkEvents[s.faulted].At
+			if nextFault < s.now {
+				nextFault = s.now
+			}
+		}
+		next := nextDone
+		if nextArrival < next {
+			next = nextArrival
+		}
+		if nextFault < next {
+			next = nextFault
+		}
+		if next == sim.Forever {
+			if en.starvedNow > 0 {
+				return fmt.Errorf("fluid: %d flows starved behind an unhealed partition at %v (no repair scheduled)", en.starvedNow, s.now)
+			}
+			return fmt.Errorf("fluid: stalled at %v with %d active flows and no progress", s.now, en.activeCount)
+		}
+		if next > s.cfg.Limit {
+			return fmt.Errorf("fluid: time limit %v exceeded with %d flows left", s.cfg.Limit, en.activeCount+len(en.flows)-s.arrived)
+		}
+		if next > until {
+			if until > s.now {
+				s.now = until
+			}
+			return nil
+		}
+		s.now = next
+
+		// Faults win exact ties against both flow event kinds — capacity is
+		// infrastructure, so a same-instant arrival already sees the new
+		// topology. Arrivals win ties against completions, as in the
+		// original engine; tied completions resolve in flow-ID order via
+		// the heap.
+		switch {
+		case next == nextFault && s.faulted < len(s.linkEvents):
+			en.applyLinkEvent(s.now, s.linkEvents[s.faulted])
+			s.faulted++
+		case next == nextArrival && s.arrived < len(en.flows):
+			s.res.Events++
+			en.arrive(int32(s.arrived), s.now)
+			s.arrived++
+		default:
+			s.res.Events++
+			fr := en.complete(doneID, s.now)
+			s.res.Flows = append(s.res.Flows, fr)
+			s.status[doneID] = FlowStatus{Done: true, Start: fr.Start, FCT: fr.FCT, Hops: fr.Hops}
+		}
+		en.compactDone()
+	}
+	if idleForward && until > s.now && until != sim.Forever {
+		s.now = until
+	}
+	return nil
+}
+
+// Snapshot returns a summarized copy of the results so far. The live run is
+// untouched; completed flows are in completion order exactly as Run reports
+// them.
+func (s *Session) Snapshot() *Result {
+	res := &Result{
+		Flows:  append([]FlowResult(nil), s.res.Flows...),
+		Events: s.res.Events,
+		Solver: s.en.stats.SolverStats,
+		Faults: s.en.stats.FaultStats,
+	}
+	summarize(res)
+	return res
+}
+
+// finish seals the session's own Result — Run's return value. Counters are
+// copied before Metrics observes them, matching the original single-shot
+// ordering.
+func (s *Session) finish() *Result {
+	s.res.Solver = s.en.stats.SolverStats
+	s.res.Faults = s.en.stats.FaultStats
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.observe(s.res)
+	}
+	summarize(s.res)
+	return s.res
+}
+
+// RestoreGraph puts every edge's administrative state back to its
+// pre-session value (a no-op for fault-free sessions). Run defers it so a
+// faulted run leaves the topology as it found it; façade callers that own
+// their graph never need it.
+func (s *Session) RestoreGraph() {
+	for i, e := range s.savedEdges {
+		e.SetEnabled(s.savedEnabled[i])
+	}
+}

@@ -1,0 +1,174 @@
+package fluid
+
+import (
+	"fmt"
+	"testing"
+
+	"rackfab/internal/faults"
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+	"rackfab/internal/workload"
+)
+
+// sessionSpecs is a shared mix with staggered arrivals and shared paths so
+// chunk boundaries land mid-traffic.
+func sessionSpecs() []workload.FlowSpec {
+	return []workload.FlowSpec{
+		{Src: 0, Dst: 5, Bytes: 50e3, At: 0, Label: "a"},
+		{Src: 3, Dst: 6, Bytes: 100e3, At: 20 * sim.Time(sim.Microsecond), Label: "b"},
+		{Src: 12, Dst: 9, Bytes: 200e3, At: 40 * sim.Time(sim.Microsecond), Label: "c"},
+		{Src: 15, Dst: 10, Bytes: 400e3, At: 10 * sim.Time(sim.Microsecond), Label: "d"},
+		{Src: 1, Dst: 13, Bytes: 800e3, At: 30 * sim.Time(sim.Microsecond), Label: "e"},
+		{Src: 8, Dst: 11, Bytes: 1600e3, At: 25 * sim.Time(sim.Microsecond), Label: "f"},
+	}
+}
+
+func resultFingerprint(res *Result) string {
+	s := fmt.Sprintf("events=%d mean=%d p99=%d jct=%d solver=%+v faults=%+v\n",
+		res.Events, res.MeanFCT, res.P99FCT, res.JCT, res.Solver, res.Faults)
+	for _, f := range res.Flows {
+		s += fmt.Sprintf("%s %d %d %d %d\n", f.Spec.Label, f.Spec.Bytes, int64(f.Start), int64(f.FCT), f.Hops)
+	}
+	return s
+}
+
+// TestSessionMatchesRun holds the stepped Session bit-equal to the one-shot
+// Run: the same scenario advanced in many small chunks must reproduce every
+// flow result, counter, and summary byte Run produces — fault-free and
+// under a link flap + node pulse schedule.
+func TestSessionMatchesRun(t *testing.T) {
+	for _, faulted := range []bool{false, true} {
+		name := "fault-free"
+		if faulted {
+			name = "faulted"
+		}
+		t.Run(name, func(t *testing.T) {
+			mkSched := func(g *topo.Graph) *faults.Schedule {
+				if !faulted {
+					return nil
+				}
+				e, ok := g.EdgeBetween(9, 10)
+				if !ok {
+					t.Fatal("missing edge 9-10")
+				}
+				return faults.New(
+					faults.Event{At: 30 * sim.Time(sim.Microsecond), Target: e.Index(), Kind: faults.LinkDown},
+					faults.Event{At: 200 * sim.Time(sim.Microsecond), Target: e.Index(), Kind: faults.LinkUp},
+					faults.Event{At: 80 * sim.Time(sim.Microsecond), Target: 6, Kind: faults.NodeDown},
+					faults.Event{At: 120 * sim.Time(sim.Microsecond), Target: 6, Kind: faults.NodeUp},
+				)
+			}
+
+			g1 := topo.NewGrid(4, 4, topo.Options{})
+			want, err := Run(Config{Graph: g1, Faults: mkSched(g1)}, sessionSpecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			g2 := topo.NewGrid(4, 4, topo.Options{})
+			s, err := NewSession(Config{Graph: g2, Faults: mkSched(g2)}, sessionSpecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := 7 * sim.Time(sim.Microsecond)
+			for until := step; !s.Done(); until += step {
+				if err := s.Advance(until); err != nil {
+					t.Fatal(err)
+				}
+				if s.Now() != until {
+					t.Fatalf("clock %v after Advance(%v)", s.Now(), until)
+				}
+			}
+			got := s.Snapshot()
+			if a, b := resultFingerprint(want), resultFingerprint(got); a != b {
+				t.Fatalf("stepped session diverged from Run:\n--- run ---\n%s--- session ---\n%s", a, b)
+			}
+
+			// FlowStatus must agree with the result rows through Order.
+			order := s.Order()
+			specs := sessionSpecs()
+			for i, spec := range specs {
+				st := s.FlowStatus(order[i])
+				if !st.Done {
+					t.Fatalf("flow %q not done after completion", spec.Label)
+				}
+				found := false
+				for _, fr := range want.Flows {
+					if fr.Spec.Label == spec.Label && fr.Start == st.Start && fr.FCT == st.FCT && fr.Hops == st.Hops {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("flow %q status %+v matches no Run result row", spec.Label, st)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionOrderIsInputInvariant: the Order mapping must hand every input
+// position the canonical ID of its spec regardless of input order.
+func TestSessionOrderIsInputInvariant(t *testing.T) {
+	g := topo.NewGrid(4, 4, topo.Options{})
+	specs := sessionSpecs()
+	fwd, err := NewSession(Config{Graph: g}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]workload.FlowSpec, len(specs))
+	for i, s := range specs {
+		rev[len(specs)-1-i] = s
+	}
+	back, err := NewSession(Config{Graph: g}, rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if fwd.Order()[i] != back.Order()[len(specs)-1-i] {
+			t.Fatalf("canonical ID of spec %d depends on input order: %d vs %d",
+				i, fwd.Order()[i], back.Order()[len(specs)-1-i])
+		}
+	}
+}
+
+// TestSessionAdvanceIdlesPastCompletion: advancing past the last event just
+// moves the clock.
+func TestSessionAdvanceIdlesPastCompletion(t *testing.T) {
+	g := topo.NewGrid(4, 4, topo.Options{})
+	s, err := NewSession(Config{Graph: g}, sessionSpecs()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatal("session not done")
+	}
+	if s.Now() != sim.Time(10*sim.Second) {
+		t.Fatalf("clock %v, want 10s", s.Now())
+	}
+	if err := s.Advance(sim.Time(20 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != sim.Time(20*sim.Second) {
+		t.Fatalf("idle advance left clock at %v", s.Now())
+	}
+
+	// AdvanceUntilDone must NOT idle forward: the clock stops at the last
+	// completion, like the packet engine's RunUntilDone.
+	s2, err := NewSession(Config{Graph: g}, sessionSpecs()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AdvanceUntilDone(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Done() {
+		t.Fatal("session not done")
+	}
+	if s2.Now() >= sim.Time(sim.Second) {
+		t.Fatalf("AdvanceUntilDone idled the clock to %v", s2.Now())
+	}
+}

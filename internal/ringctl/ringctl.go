@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"rackfab/internal/faults"
 	"rackfab/internal/netstack"
 	"rackfab/internal/phy"
 	"rackfab/internal/plp"
@@ -346,6 +347,28 @@ func (c *Controller) CostFunc() route.CostFunc {
 // log records a decision.
 func (c *Controller) log(policy, note string, cmd *plp.Command) {
 	c.decisions = append(c.decisions, Decision{At: c.eng.Now(), Policy: policy, Note: note, Cmd: cmd})
+}
+
+// NoteFaults records one replayed fault group on the decision log — the
+// audit-trail half of packet-engine fault replay. The fabric applies the
+// administrative change and the incremental table repair at the fault
+// instant (fabric.ScheduleFaults passes this method as its onApply hook);
+// everything after that is the ordinary epoch loop: the next collection
+// reads the changed link state, the price book moves, and the routing
+// policy rebuilds over the re-priced fabric. Re-pricing, not an oracle
+// rebuild, is what heals the run.
+func (c *Controller) NoteFaults(evs []faults.LinkEvent, repairedCols int) {
+	for _, ev := range evs {
+		verb := "restored"
+		switch {
+		case ev.Factor == 0:
+			verb = "down"
+		case ev.Factor < 1:
+			verb = fmt.Sprintf("degraded to %g× nominal", ev.Factor)
+		}
+		c.log("fault", fmt.Sprintf("link %d %s (replayed schedule)", ev.Edge, verb), nil)
+	}
+	c.log("fault", fmt.Sprintf("incremental repair rebuilt %d destination columns; re-pricing heals at next epoch", repairedCols), nil)
 }
 
 // issue validates, logs and executes one command.

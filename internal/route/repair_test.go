@@ -143,6 +143,90 @@ func TestPathUnreachableTyped(t *testing.T) {
 	}
 }
 
+// TestRepairBatchMatchesSequential is the batch-repair bit-equality gate:
+// for multi-edge events (a node loss lowered to its incident links, a
+// scattered multi-link pulse, a heal), applying all administrative changes
+// and then calling RepairBatch once must leave a table routing-identical to
+// calling Repair edge-at-a-time — and to a from-scratch Build — on every
+// fabric shape. The batch may rebuild fewer columns (it never rebuilds one
+// twice) but never more than the sequential sum.
+func TestRepairBatchMatchesSequential(t *testing.T) {
+	type scenario struct {
+		name  string
+		edges func(g *topo.Graph) []*topo.Edge // edges whose admin state flips
+	}
+	nodeEdges := func(g *topo.Graph, n topo.NodeID) []*topo.Edge {
+		return append([]*topo.Edge(nil), g.Adjacent(n)...)
+	}
+	scenarios := []scenario{
+		{"single-edge", func(g *topo.Graph) []*topo.Edge { return g.Edges()[:1] }},
+		{"node-loss", func(g *topo.Graph) []*topo.Edge { return nodeEdges(g, topo.NodeID(g.NumNodes()/2)) }},
+		{"scattered-pulse", func(g *topo.Graph) []*topo.Edge {
+			es := g.Edges()
+			return []*topo.Edge{es[0], es[len(es)/2], es[len(es)-1]}
+		}},
+	}
+	shapes := []struct {
+		name string
+		mk   func() *topo.Graph
+	}{
+		{"grid", func() *topo.Graph { return topo.NewGrid(5, 4, topo.Options{}) }},
+		{"torus", func() *topo.Graph { return topo.NewTorus(4, 4, topo.Options{}) }},
+		{"line", func() *topo.Graph { return topo.NewLine(9, topo.Options{}) }},
+	}
+	for _, sh := range shapes {
+		for _, sc := range scenarios {
+			t.Run(sh.name+"/"+sc.name, func(t *testing.T) {
+				g := sh.mk()
+				seq := Build(g, UniformCost)
+				batch := Build(g, UniformCost)
+				set := sc.edges(g)
+				// Down pulse, then heal — the restore direction exercises
+				// the newly-tied-path branch of the triage.
+				for _, phase := range []bool{false, true} {
+					for _, e := range set {
+						e.SetEnabled(phase)
+					}
+					seqCols := 0
+					for _, e := range set {
+						seqCols += seq.Repair(g, UniformCost, e)
+					}
+					batchCols := batch.RepairBatch(g, UniformCost, set)
+					if batchCols > seqCols {
+						t.Fatalf("batch rebuilt %d columns, sequential only %d", batchCols, seqCols)
+					}
+					tablesEqual(t, "batch vs sequential", seq, batch)
+					tablesEqual(t, "batch vs fresh build", Build(g, UniformCost), batch)
+				}
+			})
+		}
+	}
+}
+
+// TestRepairBatchNoop: a batch whose edges' costs did not move — including
+// duplicate edges — rebuilds nothing.
+func TestRepairBatchNoop(t *testing.T) {
+	g := topo.NewGrid(4, 4, topo.Options{})
+	tab := Build(g, UniformCost)
+	e := g.Edges()[3]
+	if n := tab.RepairBatch(g, UniformCost, []*topo.Edge{e, e}); n != 0 {
+		t.Fatalf("no-op batch rebuilt %d columns", n)
+	}
+	// A duplicated changed edge counts once: the second occurrence sees the
+	// already-updated snapshot.
+	e.SetEnabled(false)
+	once := Build(g, UniformCost)
+	for _, x := range g.Edges() {
+		x.SetEnabled(true)
+	}
+	e.SetEnabled(false)
+	if tab.RepairBatch(g, UniformCost, []*topo.Edge{e, e}) == 0 {
+		t.Fatal("disabling a live edge rebuilt nothing")
+	}
+	tablesEqual(t, "dup edge", once, tab)
+	e.SetEnabled(true)
+}
+
 // TestRepairTriageIsSelective: an edge that sits on no destination's
 // shortest-path DAG (priced far above the alternatives) must trigger zero
 // column rebuilds when it fails, and zero again when it recovers at the

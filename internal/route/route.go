@@ -121,28 +121,105 @@ func (t *Table) Repair(g *topo.Graph, cost CostFunc, e *topo.Edge) int {
 	t.costOf[e.Index()] = c1
 	n := t.n
 	a, b := int(e.A), int(e.B)
-	const eps = 1e-9
 	scratch := &buildScratch{dist: make([]float64, n)}
 	rebuilt := 0
 	for dst := 0; dst < n; dst++ {
-		da, db := t.dist[a*n+dst], t.dist[b*n+dst]
-		affected := false
-		if !math.IsInf(c0, 1) && !math.IsInf(da, 1) && !math.IsInf(db, 1) {
-			gap := da - db
-			if gap < 0 {
-				gap = -gap
-			}
-			affected = math.Abs(gap-c0) < eps // e was on dst's shortest-path DAG
+		if t.columnAffected(dst, a, b, c0, c1) {
+			buildForDst(g, topo.NodeID(dst), t.costOf, t, scratch)
+			rebuilt++
 		}
-		if !affected && !math.IsInf(c1, 1) {
-			lo, hi := da, db
-			if lo > hi {
-				lo, hi = hi, lo
-			}
-			// hi may be +Inf (connectivity restored): c1+lo ≤ Inf triggers.
-			affected = !math.IsInf(lo, 1) && c1+lo <= hi+eps
+	}
+	return rebuilt
+}
+
+// columnAffected is Repair's per-destination triage: can an edge (a,b)
+// whose cost moved c0 → c1 touch destination dst's shortest-path structure?
+// For an increase or removal: the edge was tight on the column's DAG
+// (|dist(a,dst) − dist(b,dst)| = c0). For a decrease or restore: the new
+// cost creates a shorter or newly tied path. Both tests are O(1) against
+// the stored distance matrix, which must still describe the table's current
+// columns when the test runs — batch callers triage every change BEFORE
+// rebuilding anything.
+func (t *Table) columnAffected(dst, a, b int, c0, c1 float64) bool {
+	const eps = 1e-9
+	n := t.n
+	da, db := t.dist[a*n+dst], t.dist[b*n+dst]
+	if !math.IsInf(c0, 1) && !math.IsInf(da, 1) && !math.IsInf(db, 1) {
+		gap := da - db
+		if gap < 0 {
+			gap = -gap
 		}
-		if affected {
+		if math.Abs(gap-c0) < eps { // the edge was on dst's shortest-path DAG
+			return true
+		}
+	}
+	if !math.IsInf(c1, 1) {
+		lo, hi := da, db
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// hi may be +Inf (connectivity restored): c1+lo ≤ Inf triggers.
+		if !math.IsInf(lo, 1) && c1+lo <= hi+eps {
+			return true
+		}
+	}
+	return false
+}
+
+// RepairBatch applies several simultaneous edge-cost changes — a node
+// event's incident links, a multi-link pulse — in one triage pass: all cost
+// snapshots move first, every destination column is tested once against
+// every change (using the pre-batch distance matrix throughout), and each
+// affected column rebuilds exactly once over the final costs.
+//
+// The result is bit-identical in routing behavior to calling Repair once
+// per edge in any order. Sketch: sequential repairs keep the table
+// equivalent to a fresh Build after every step, so a column neither repair
+// touches has unchanged distances — the batch triage sees exactly the
+// values each sequential triage would, and a column any single-edge test
+// flags is rebuilt here over the union of changes, which is where the
+// sequential chain also lands it. Columns sequential Repair rebuilds more
+// than once collapse to one buildForDst over the same final snapshot.
+// Returns the number of destination columns rebuilt — at most once each,
+// so the count can undercut the sequential sum.
+func (t *Table) RepairBatch(g *topo.Graph, cost CostFunc, edges []*topo.Edge) int {
+	if cost == nil {
+		cost = UniformCost
+	}
+	type change struct {
+		a, b   int
+		c0, c1 float64
+	}
+	changes := make([]change, 0, len(edges))
+	for _, e := range edges {
+		c1 := cost(e)
+		if !math.IsInf(c1, 1) && c1 <= 0 {
+			panic(fmt.Sprintf("route: non-positive edge cost %v on %d-%d", c1, e.A, e.B))
+		}
+		c0 := t.costOf[e.Index()]
+		if c1 == c0 {
+			continue // also drops duplicate edges: the second sees c0 == c1
+		}
+		t.costOf[e.Index()] = c1
+		changes = append(changes, change{a: int(e.A), b: int(e.B), c0: c0, c1: c1})
+	}
+	if len(changes) == 0 {
+		return 0
+	}
+	n := t.n
+	affected := make([]bool, n)
+	for dst := 0; dst < n; dst++ {
+		for _, ch := range changes {
+			if t.columnAffected(dst, ch.a, ch.b, ch.c0, ch.c1) {
+				affected[dst] = true
+				break
+			}
+		}
+	}
+	scratch := &buildScratch{dist: make([]float64, n)}
+	rebuilt := 0
+	for dst := 0; dst < n; dst++ {
+		if affected[dst] {
 			buildForDst(g, topo.NodeID(dst), t.costOf, t, scratch)
 			rebuilt++
 		}

@@ -3,10 +3,17 @@
 // fabrics" (Sella, Moore, Zilberman — SIGCOMM 2018).
 //
 // A Cluster is a simulated rack: a topology of stripped-down nodes joined
-// by multi-lane physical links, a cut-through switch and a host NIC per
-// node, and optionally the paper's Closed Ring Control (CRC) driving the
-// Physical Layer Primitives (PLP) — link breaking/bundling, high-speed
-// bypass, lane power, adaptive FEC, per-lane statistics.
+// by multi-lane physical links. Config.Engine selects the simulation
+// backend behind the one API:
+//
+//   - EnginePacket (default) simulates every frame through a cut-through
+//     switch and host NIC per node, optionally under the paper's Closed
+//     Ring Control (CRC) driving the Physical Layer Primitives (PLP) —
+//     link breaking/bundling, high-speed bypass, lane power, adaptive FEC,
+//     per-lane statistics.
+//   - EngineFluid models flows as fluid streams sharing link capacity
+//     max-min fairly — the engine the large-scale sweeps run on, thousands
+//     of nodes in seconds.
 //
 // Quickstart:
 //
@@ -19,8 +26,23 @@
 //	_ = cluster.RunUntilDone(time.Second)
 //	report := cluster.Report()
 //
+// Both engines consume replayable fault schedules (Config.Faults,
+// Cluster.ApplyFaults, PoissonFlaps): link flaps, degradations, and node
+// loss interleave with traffic, and Report's fault/solver sections say what
+// the churn cost. A large faulted study is a few lines:
+//
+//	cluster, _ := rackfab.New(rackfab.Config{
+//		Topology: rackfab.Grid, Width: 64, Height: 64,
+//		Engine:   rackfab.EngineFluid, Seed: 1,
+//	})
+//	_ = cluster.ApplyFaults(rackfab.PoissonFlaps(cluster, rackfab.FlapConfig{
+//		Flaps: 8, MeanGap: time.Millisecond, MeanOutage: time.Millisecond,
+//	}))
+//	flows, _ := cluster.Inject(rackfab.PermutationTraffic(cluster, 1e6))
+//	_ = cluster.RunUntilDone(time.Minute)
+//
 // All time inputs are wall-clock time.Durations of *simulated* time; the
-// engine itself runs at picosecond resolution internally.
+// engines run at picosecond resolution internally.
 package rackfab
 
 import (
@@ -28,7 +50,6 @@ import (
 	"time"
 
 	"rackfab/internal/fabric"
-	"rackfab/internal/host"
 	"rackfab/internal/phy"
 	"rackfab/internal/ringctl"
 	"rackfab/internal/sim"
@@ -95,28 +116,40 @@ type Config struct {
 	Height   int
 	// LanesPerLink is the physical bundle width (default 2, per Figure 2).
 	LanesPerLink int
-	// Media is the link medium (default Backplane).
+	// Media is the link medium (default Backplane). Link capacities derive
+	// from it on both engines.
 	Media Media
 	// NodeSpacingM is the inter-node distance (default 2 m, per Figure 1).
 	NodeSpacingM float64
 	// SwitchMode is the forwarding discipline (default CutThrough).
+	// Packet engine only; the fluid engine has no switches.
 	SwitchMode SwitchMode
-	// PowerCapW caps rack power (0 = uncapped).
+	// PowerCapW caps rack power (0 = uncapped). Packet engine only.
 	PowerCapW float64
 	// Seed drives every stochastic element; equal seeds reproduce runs
 	// exactly.
 	Seed int64
-	// Control configures the CRC.
+	// Control configures the CRC. Packet engine only: enabling it under
+	// EngineFluid is a construction error.
 	Control ControlConfig
+	// Engine selects the simulation backend (default EnginePacket).
+	Engine Engine
+	// Faults optionally installs a replayable fault timeline at
+	// construction; Cluster.ApplyFaults adds more later. Both engines
+	// consume the same schedule type.
+	Faults *FaultSchedule
 }
 
-// Cluster is a running simulated rack.
+// Cluster is a running simulated rack. All traffic, run, fault, and report
+// calls route through the engine selected at construction; the handful of
+// packet-hardware surfaces (lane control, BER injection, the CRC) return
+// ErrPacketOnly on the fluid engine.
 type Cluster struct {
 	cfg   Config
-	eng   *sim.Engine
 	graph *topo.Graph
-	fab   *fabric.Fabric
-	ctl   *ringctl.Controller
+	be    backend
+	pk    *packetBackend // non-nil iff Engine == EnginePacket
+	fl    *fluidBackend  // non-nil iff Engine == EngineFluid
 }
 
 // New builds a cluster. The simulation clock starts at zero; nothing runs
@@ -128,6 +161,14 @@ func New(cfg Config) (*Cluster, error) {
 	media, err := mediaOf(cfg.Media)
 	if err != nil {
 		return nil, err
+	}
+	// Validate engine-independent knobs up front so a Config is accepted or
+	// rejected identically under either engine (the fluid engine ignores
+	// the switch mode but still refuses a nonsense one).
+	switch cfg.SwitchMode {
+	case CutThrough, StoreAndForward, "":
+	default:
+		return nil, fmt.Errorf("rackfab: unknown switch mode %q", cfg.SwitchMode)
 	}
 	opts := topo.Options{
 		LanesPerLink: cfg.LanesPerLink,
@@ -154,6 +195,32 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("rackfab: unknown topology %q", cfg.Topology)
 	}
 
+	c := &Cluster{cfg: cfg, graph: g}
+	switch cfg.Engine {
+	case EnginePacket, "":
+		if err := c.buildPacket(g); err != nil {
+			return nil, err
+		}
+	case EngineFluid:
+		if cfg.Control.Enabled {
+			return nil, fmt.Errorf("rackfab: the Closed Ring Control %w", ErrPacketOnly)
+		}
+		c.fl = &fluidBackend{graph: g}
+		c.be = c.fl
+	default:
+		return nil, fmt.Errorf("rackfab: unknown engine %q", cfg.Engine)
+	}
+	if cfg.Faults != nil {
+		if err := c.be.applyFaults(cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// buildPacket assembles the packet datapath and, when configured, the CRC.
+func (c *Cluster) buildPacket(g *topo.Graph) error {
+	cfg := c.cfg
 	eng := sim.New()
 	fcfg := fabric.DefaultConfig(g)
 	fcfg.Seed = cfg.Seed
@@ -164,14 +231,13 @@ func New(cfg Config) (*Cluster, error) {
 	case StoreAndForward:
 		fcfg.Switch.Mode = switching.StoreAndForward
 	default:
-		return nil, fmt.Errorf("rackfab: unknown switch mode %q", cfg.SwitchMode)
+		return fmt.Errorf("rackfab: unknown switch mode %q", cfg.SwitchMode)
 	}
 	fab, err := fabric.New(eng, fcfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c := &Cluster{cfg: cfg, eng: eng, graph: g, fab: fab}
-
+	pk := &packetBackend{eng: eng, fab: fab}
 	if cfg.Control.Enabled {
 		ccfg := ringctl.DefaultConfig()
 		if cfg.Control.Epoch > 0 {
@@ -185,10 +251,12 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.Control.ReconfigUtilization > 0 {
 			ccfg.ReconfigUtilization = cfg.Control.ReconfigUtilization
 		}
-		c.ctl = ringctl.New(eng, fab, ccfg)
-		c.ctl.Start()
+		pk.ctl = ringctl.New(eng, fab, ccfg)
+		pk.ctl.Start()
 	}
-	return c, nil
+	c.pk = pk
+	c.be = pk
+	return nil
 }
 
 func mediaOf(m Media) (phy.Media, error) {
@@ -204,6 +272,14 @@ func mediaOf(m Media) (phy.Media, error) {
 	}
 }
 
+// Engine returns the backend the cluster runs on.
+func (c *Cluster) Engine() Engine {
+	if c.pk != nil {
+		return EnginePacket
+	}
+	return EngineFluid
+}
+
 // Nodes returns the node count.
 func (c *Cluster) Nodes() int { return c.graph.NumNodes() }
 
@@ -211,18 +287,22 @@ func (c *Cluster) Nodes() int { return c.graph.NumNodes() }
 // Figure 2's reconfiguration improves.
 func (c *Cluster) MeanHops() (float64, error) { return c.graph.MeanHops() }
 
-// PowerW returns the fabric's current draw in watts.
-func (c *Cluster) PowerW() float64 { return c.fab.TotalPowerW() }
+// PowerW returns the fabric's current draw in watts (zero on the fluid
+// engine, which carries no power model).
+func (c *Cluster) PowerW() float64 {
+	if c.pk == nil {
+		return 0
+	}
+	return c.pk.fab.TotalPowerW()
+}
 
 // RunFor advances simulated time by d.
-func (c *Cluster) RunFor(d time.Duration) error {
-	return c.fab.RunFor(simDur(d))
-}
+func (c *Cluster) RunFor(d time.Duration) error { return c.be.runFor(d) }
 
 // RunUntilDone runs until every injected flow completes, or errors at the
 // simulated-time limit.
 func (c *Cluster) RunUntilDone(limit time.Duration) error {
-	return c.fab.RunUntilDone(sim.Time(simDur(limit)))
+	return c.be.runUntilDone(limit)
 }
 
 // ApplyGridToTorus executes Figure 2's reconfiguration immediately (the
@@ -230,9 +310,12 @@ func (c *Cluster) RunUntilDone(limit time.Duration) error {
 // entry point is for deterministic experiments). keepLanes is the switched
 // lane count left on every link (typically 1).
 func (c *Cluster) ApplyGridToTorus(keepLanes int) error {
-	ctl := c.ctl
+	if c.pk == nil {
+		return errPacketOnly("grid→torus reconfiguration")
+	}
+	ctl := c.pk.ctl
 	if ctl == nil {
-		ctl = ringctl.New(c.eng, c.fab, ringctl.DefaultConfig())
+		ctl = ringctl.New(c.pk.eng, c.pk.fab, ringctl.DefaultConfig())
 	}
 	return ctl.ApplyGridToTorus(keepLanes)
 }
@@ -240,6 +323,9 @@ func (c *Cluster) ApplyGridToTorus(keepLanes int) error {
 // SetLinkBER sets the true channel bit error rate on the link joining
 // nodes a and b (fault injection for the adaptive-FEC path).
 func (c *Cluster) SetLinkBER(a, b int, ber float64) error {
+	if c.pk == nil {
+		return errPacketOnly("BER injection")
+	}
 	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
 	if !ok {
 		return fmt.Errorf("rackfab: no link between %d and %d", a, b)
@@ -251,8 +337,12 @@ func (c *Cluster) SetLinkBER(a, b int, ber float64) error {
 }
 
 // DisableLanes powers down n lanes on the link joining a and b (fault
-// injection / degradation for the adaptive-routing path).
+// injection / degradation for the adaptive-routing path). For
+// engine-agnostic capacity faults use a FaultSchedule instead.
 func (c *Cluster) DisableLanes(a, b, n int) error {
+	if c.pk == nil {
+		return errPacketOnly("lane control")
+	}
 	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
 	if !ok {
 		return fmt.Errorf("rackfab: no link between %d and %d", a, b)
@@ -266,13 +356,16 @@ func (c *Cluster) DisableLanes(a, b, n int) error {
 			return err
 		}
 	}
-	c.fab.RebuildRoutes(nil)
+	c.pk.fab.RebuildRoutes(nil)
 	return nil
 }
 
 // LinkFECName reports the FEC profile currently installed on the link
 // joining a and b.
 func (c *Cluster) LinkFECName(a, b int) (string, error) {
+	if c.pk == nil {
+		return "", errPacketOnly("FEC introspection")
+	}
 	e, ok := c.graph.EdgeBetween(topo.NodeID(a), topo.NodeID(b))
 	if !ok {
 		return "", fmt.Errorf("rackfab: no link between %d and %d", a, b)
@@ -281,12 +374,12 @@ func (c *Cluster) LinkFECName(a, b int) (string, error) {
 }
 
 // Decisions returns the CRC's decision log as printable lines (empty
-// without control enabled).
+// without control enabled; replayed fault events appear here too).
 func (c *Cluster) Decisions() []string {
-	if c.ctl == nil {
+	if c.pk == nil || c.pk.ctl == nil {
 		return nil
 	}
-	ds := c.ctl.Decisions()
+	ds := c.pk.ctl.Decisions()
 	out := make([]string, len(ds))
 	for i, d := range ds {
 		out[i] = d.String()
@@ -295,9 +388,7 @@ func (c *Cluster) Decisions() []string {
 }
 
 // Now returns the current simulated time.
-func (c *Cluster) Now() time.Duration {
-	return time.Duration(c.eng.Now() / sim.Time(sim.Nanosecond) * sim.Time(time.Nanosecond))
-}
+func (c *Cluster) Now() time.Duration { return c.be.now() }
 
 // simDur converts an API duration (ns resolution) to simulator picoseconds.
 func simDur(d time.Duration) sim.Duration {
@@ -309,33 +400,3 @@ func simDur(d time.Duration) sim.Duration {
 func fromSim(d sim.Duration) time.Duration {
 	return time.Duration(int64(d) / int64(sim.Nanosecond))
 }
-
-// Flow is a handle on one injected transfer.
-type Flow struct{ inner *host.Flow }
-
-// Done reports completion.
-func (f *Flow) Done() bool { return f.inner.Done() }
-
-// Failed reports the flow was abandoned after repeated retransmissions.
-func (f *Flow) Failed() bool { return f.inner.Failed() }
-
-// CompletionTime returns the flow completion time; it errors on unfinished
-// flows.
-func (f *Flow) CompletionTime() (time.Duration, error) {
-	if !f.inner.Done() {
-		return 0, fmt.Errorf("rackfab: flow %d unfinished", f.inner.ID)
-	}
-	return fromSim(f.inner.FCT()), nil
-}
-
-// Retransmits returns the number of retransmitted frames.
-func (f *Flow) Retransmits() int64 { return f.inner.Retransmits() }
-
-// Label returns the workload label.
-func (f *Flow) Label() string { return f.inner.Label }
-
-// Endpoints returns (src, dst) node IDs.
-func (f *Flow) Endpoints() (int, int) { return f.inner.Src, f.inner.Dst }
-
-// Bytes returns the flow size.
-func (f *Flow) Bytes() int64 { return f.inner.Bytes }

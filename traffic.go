@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"rackfab/internal/fabric"
-	"rackfab/internal/host"
 	"rackfab/internal/sim"
 	"rackfab/internal/workload"
 )
@@ -19,26 +17,12 @@ type FlowSpec struct {
 	Label    string
 }
 
-// Inject schedules flows into the cluster and returns their handles.
+// Inject schedules flows into the cluster and returns their handles. The
+// packet engine accepts injections at any time; the fluid engine's flow IDs
+// are canonical over the whole spec multiset, so it accepts Inject only
+// before the first Run call.
 func (c *Cluster) Inject(specs []FlowSpec) ([]*Flow, error) {
-	wl := make([]workload.FlowSpec, len(specs))
-	base := c.eng.Now()
-	for i, s := range specs {
-		wl[i] = workload.FlowSpec{
-			Src: s.Src, Dst: s.Dst, Bytes: s.Bytes,
-			At:    base.Add(simDur(s.At)),
-			Label: s.Label,
-		}
-	}
-	inner, err := c.fab.InjectFlows(wl)
-	if err != nil {
-		return nil, err
-	}
-	flows := make([]*Flow, len(inner))
-	for i, fl := range inner {
-		flows[i] = &Flow{inner: fl}
-	}
-	return flows, nil
+	return c.be.inject(specs)
 }
 
 // UniformTraffic generates open-loop uniform-random flows: count flows of
@@ -87,6 +71,15 @@ func HotspotTraffic(c *Cluster, count, hot int, frac float64, size int64) []Flow
 	return fromWorkload(specs)
 }
 
+// PermutationTraffic generates one random permutation: every node sends
+// size bytes to a distinct random partner simultaneously — the workload the
+// large-scale evaluation ladder (E8/E10) runs. The cluster's seed drives
+// the draw.
+func PermutationTraffic(c *Cluster, size int64) []FlowSpec {
+	rng := sim.NewRNG(c.cfg.Seed).Split("traffic/permutation")
+	return fromWorkload(workload.Permutation(rng, c.Nodes(), workload.Fixed(size)))
+}
+
 func fromWorkload(specs []workload.FlowSpec) []FlowSpec {
 	out := make([]FlowSpec, len(specs))
 	for i, s := range specs {
@@ -100,18 +93,26 @@ func fromWorkload(specs []workload.FlowSpec) []FlowSpec {
 }
 
 // JobCompletionTime returns the barrier completion time of a flow group —
-// MapReduce's "reducer waits for all mappers". It errors if any flow is
-// unfinished.
+// MapReduce's "reducer waits for all mappers" — on either engine. It errors
+// if any flow is unfinished.
 func JobCompletionTime(flows []*Flow) (time.Duration, error) {
-	hf := make([]*host.Flow, 0, len(flows))
-	for _, f := range flows {
-		hf = append(hf, f.inner)
+	if len(flows) == 0 {
+		return 0, fmt.Errorf("rackfab: empty job")
 	}
-	jct, err := fabric.JobCompletionTime(hf)
-	if err != nil {
-		return 0, err
+	var earliest, latest sim.Time
+	for i, f := range flows {
+		start, end, err := f.window()
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || start.Before(earliest) {
+			earliest = start
+		}
+		if end.After(latest) {
+			latest = end
+		}
 	}
-	return fromSim(jct), nil
+	return fromSim(latest.Sub(earliest)), nil
 }
 
 // Summary condenses a latency/size distribution for reports.
@@ -122,17 +123,55 @@ type Summary struct {
 	MaxUs        float64
 }
 
-// Report is a cluster-wide results snapshot.
+// FaultReport summarizes applied fault churn. CapacityEvents and
+// RouteRepairs count on both engines; Reroutes, StarvedEpisodes, and
+// MeanRecovery are flow-level accounting only the fluid engine keeps (the
+// packet engine's equivalent shows up as retransmissions and FCT
+// inflation).
+type FaultReport struct {
+	// CapacityEvents counts applied per-link capacity changes (node loss
+	// lowered to its incident links).
+	CapacityEvents int64
+	// RouteRepairs counts routing-table destination columns rebuilt by
+	// incremental repair.
+	RouteRepairs int64
+	// Reroutes counts flows moved to a new path mid-flight.
+	Reroutes int64
+	// StarvedEpisodes counts flows a partition pinned at rate zero for a
+	// positive span of simulated time.
+	StarvedEpisodes int64
+	// MeanRecovery is the mean starved time per episode — the mean service
+	// recovery time after a failure no immediate reroute could absorb.
+	MeanRecovery time.Duration
+}
+
+// SolverReport describes how the fluid engine's incremental refills were
+// solved (zero-valued on the packet engine): the warm-start oracle's hit
+// rate over all fills.
+type SolverReport struct {
+	WarmHits      int64
+	WarmFallbacks int64
+	ColdFills     int64
+	// WarmHitPct is WarmHits over all fills, as a percentage.
+	WarmHitPct float64
+}
+
+// Report is a cluster-wide results snapshot, unified across engines:
+// frame-level sections (Latency, Frames*, Power*, CRCDecisions) are
+// packet-engine instruments, Solver is a fluid-engine instrument, and
+// FCT, MeanHops, FlowsCompleted, and Faults fill on both.
 type Report struct {
 	// Latency is the end-to-end frame latency distribution.
 	Latency Summary
 	// FCT is the flow-completion-time distribution.
 	FCT Summary
-	// MeanHops is the delivered frames' mean switch-traversal count.
+	// MeanHops is the mean switch-traversal count (per delivered frame on
+	// the packet engine, per completed flow on the fluid engine).
 	MeanHops float64
 	// FramesDelivered, FramesDropped, FramesCorrupt count datapath events.
 	FramesDelivered, FramesDropped, FramesCorrupt int64
-	// FlowsCompleted counts finished flows.
+	// FlowsCompleted counts finished flows — the same count on either
+	// engine for the same completed workload.
 	FlowsCompleted int64
 	// PowerPeakW and PowerNowW describe the rack envelope.
 	PowerPeakW, PowerNowW float64
@@ -140,47 +179,26 @@ type Report struct {
 	EnergyJ float64
 	// CRCDecisions counts logged controller actions.
 	CRCDecisions int
+	// Faults summarizes applied fault churn; zero-valued on fault-free
+	// runs.
+	Faults FaultReport
+	// Solver reports the fluid solver's warm-start telemetry; zero-valued
+	// on the packet engine.
+	Solver SolverReport
 }
 
 // Report snapshots the cluster's instruments.
 func (c *Cluster) Report() Report {
-	st := c.fab.Stats()
-	toSummary := func(h interface {
-		Count() int64
-		Mean() float64
-		Quantile(float64) int64
-		Max() int64
-	}) Summary {
-		const us = 1e6 // ps per µs
-		return Summary{
-			Count:  h.Count(),
-			MeanUs: h.Mean() / us,
-			P50Us:  float64(h.Quantile(0.5)) / us,
-			P99Us:  float64(h.Quantile(0.99)) / us,
-			MaxUs:  float64(h.Max()) / us,
-		}
-	}
-	r := Report{
-		Latency:         toSummary(st.Latency),
-		FCT:             toSummary(st.FCT),
-		MeanHops:        st.Hops.Mean(),
-		FramesDelivered: st.Delivered.Value(),
-		FramesDropped:   st.Dropped.Value(),
-		FramesCorrupt:   st.Corrupt.Value(),
-		FlowsCompleted:  st.FlowsCompleted.Value(),
-		PowerPeakW:      c.fab.PowerBudget().PeakW(),
-		PowerNowW:       c.fab.TotalPowerW(),
-		EnergyJ:         c.fab.PowerBudget().EnergyJ(),
-	}
-	if c.ctl != nil {
-		r.CRCDecisions = len(c.ctl.Decisions())
-	}
+	var r Report
+	c.be.fill(&r)
 	return r
 }
 
-// String renders the report as a compact block.
+// String renders the report as a compact block. The fault and solver
+// sections print only when non-zero — a fault-free packet report reads
+// exactly as it always has.
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"frames: %d delivered, %d dropped, %d corrupt\n"+
 			"latency: mean %.2fus p50 %.2fus p99 %.2fus max %.2fus (mean hops %.2f)\n"+
 			"flows: %d complete, FCT p50 %.2fus p99 %.2fus\n"+
@@ -192,4 +210,18 @@ func (r Report) String() string {
 		r.PowerNowW, r.PowerPeakW, r.EnergyJ,
 		r.CRCDecisions,
 	)
+	if r.Faults != (FaultReport{}) {
+		s += fmt.Sprintf(
+			"\nfaults: %d capacity events, %d route columns repaired, %d reroutes, %d starvation episodes (mean recovery %v)",
+			r.Faults.CapacityEvents, r.Faults.RouteRepairs,
+			r.Faults.Reroutes, r.Faults.StarvedEpisodes, r.Faults.MeanRecovery,
+		)
+	}
+	if r.Solver != (SolverReport{}) {
+		s += fmt.Sprintf(
+			"\nsolver: warm fills %.1f%% (%d warm, %d fallback, %d cold)",
+			r.Solver.WarmHitPct, r.Solver.WarmHits, r.Solver.WarmFallbacks, r.Solver.ColdFills,
+		)
+	}
+	return s
 }
