@@ -226,6 +226,11 @@ func (b *packetBackend) fill(r *Report) {
 	fs := b.fab.FaultStats()
 	r.Faults.CapacityEvents = fs.CapacityEvents
 	r.Faults.RouteRepairs = fs.RouteRepairs
+	r.Faults.Reroutes = fs.Reroutes
+	r.Faults.StarvedEpisodes = fs.StarvedEpisodes
+	if fs.StarvedEpisodes > 0 {
+		r.Faults.MeanRecovery = fromSim(fs.StarvedTime / sim.Duration(fs.StarvedEpisodes))
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -235,6 +235,77 @@ func TestClusterDifferentialRankOrderUnderFlap(t *testing.T) {
 	}
 }
 
+// TestFaultReportFieldsAgreeAcrossEngines: the same node-loss flap on the
+// same workload must populate the same Report.Faults fields on both
+// engines. Node 5 goes dark mid-traffic: the flow terminating at 5 can
+// only starve (its destination is unreachable until the heal), transit
+// flows routed through 5 must reroute, and on the heal both engines must
+// account the same single positive-duration starvation episode.
+func TestFaultReportFieldsAgreeAcrossEngines(t *testing.T) {
+	nodeFlap := NewFaultSchedule(
+		FaultSpec{At: 30 * time.Microsecond, Kind: NodeDown, Node: 5},
+		FaultSpec{At: 250 * time.Microsecond, Kind: NodeUp, Node: 5},
+	)
+	specs := []FlowSpec{
+		{Src: 0, Dst: 5, Bytes: 2e6, At: 0, Label: "starver"},
+		{Src: 1, Dst: 9, Bytes: 4e6, At: 0, Label: "transit-a"},
+		{Src: 4, Dst: 6, Bytes: 4e6, At: 0, Label: "transit-b"},
+		{Src: 12, Dst: 15, Bytes: 1e6, At: 0, Label: "clear"},
+	}
+	run := func(eng Engine) Report {
+		c, err := New(Config{
+			Topology: Grid, Width: 4, Height: 4, Seed: 7,
+			Engine: eng,
+			Faults: nodeFlap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows, err := c.Inject(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunUntilDone(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range flows {
+			if !f.Done() || f.Failed() {
+				t.Fatalf("%s flow %s did not survive the node flap", eng, specs[i].Label)
+			}
+		}
+		return c.Report()
+	}
+	reports := map[Engine]Report{EngineFluid: run(EngineFluid), EnginePacket: run(EnginePacket)}
+	for eng, rep := range reports {
+		fr := rep.Faults
+		// One node loss lowered to its 4 incident links, down then up.
+		if fr.CapacityEvents != 8 {
+			t.Errorf("%s: capacity events = %d, want 8", eng, fr.CapacityEvents)
+		}
+		if fr.RouteRepairs == 0 {
+			t.Errorf("%s: node loss repaired no routing columns", eng)
+		}
+		if fr.Reroutes == 0 {
+			t.Errorf("%s: transit flows through node 5 recorded no reroutes", eng)
+		}
+		if fr.StarvedEpisodes != 1 {
+			t.Errorf("%s: starvation episodes = %d, want 1 (the flow into node 5)",
+				eng, fr.StarvedEpisodes)
+		}
+		if fr.MeanRecovery <= 0 {
+			t.Errorf("%s: mean recovery = %v, want > 0", eng, fr.MeanRecovery)
+		}
+	}
+	// The episode spans exactly the outage on either clock: opened when the
+	// node went dark, closed by the heal — 220 µs on both engines.
+	want := 220 * time.Microsecond
+	for eng, rep := range reports {
+		if rep.Faults.MeanRecovery != want {
+			t.Errorf("%s: mean recovery = %v, want %v", eng, rep.Faults.MeanRecovery, want)
+		}
+	}
+}
+
 // TestPacketFaultReplayThroughCRC: with the Closed Ring Control enabled,
 // a replayed schedule lands on the decision log (the fault is part of the
 // CRC's audit trail) and the run heals through re-pricing epochs.

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"rackfab/internal/faults"
 	"rackfab/internal/fluid"
@@ -11,40 +12,27 @@ import (
 	"rackfab/internal/workload"
 )
 
-// e10Cell is one churn trial: the same permutation workload run fault-free
-// (baseline) and under a deterministic fault schedule (churn), plus the
-// schedule's shape and the solver's telemetry for the churn run.
+// e10Cell is one churn trial reduced to engine-neutral scalars: the same
+// permutation workload run fault-free (baseline) and under a deterministic
+// fault schedule (churn), on either engine, plus the schedule's shape and
+// the solver's warm-start telemetry (fluid rungs only).
 type e10Cell struct {
-	base, churn *fluid.Result
-	flaps       int
-	warmPct     float64
+	baseMean, churnMean sim.Duration
+	baseP99, churnP99   sim.Duration
+	baseJCT, churnJCT   sim.Duration
+	reroutes, starved   int64
+	starvedTime         sim.Duration
+	flaps               int
+	warmPct             float64
+	packet              bool
 }
 
-// e10Rung runs one churn trial. The fault timeline is derived from the
-// baseline run's own JCT, so flaps land mid-traffic at every scale: eight
-// Poisson link flaps spread across the first half of the run plus one
-// node-loss pulse on the fabric's center node (all of whose flows must
-// starve until the node returns). Both the workload and the schedule are
-// pure functions of per-rung seeds — byte-identical at any worker count.
-func e10Rung(kind string, side int) (e10Cell, error) {
-	var g *topo.Graph
-	if kind == "grid" {
-		g = topo.NewGrid(side, side, topo.Options{})
-	} else {
-		g = topo.NewTorus(side, side, topo.Options{})
-	}
-	rng := sim.NewRNG(int64(side) * 31)
-	specs := workload.Permutation(rng, side*side, workload.Fixed(1e6))
-
-	base, err := fluid.Run(fluid.Config{Graph: g}, specs)
-	if err != nil {
-		return e10Cell{}, fmt.Errorf("%s/%d baseline: %w", kind, side*side, err)
-	}
-	if len(base.Flows) == 0 {
-		return e10Cell{}, fmt.Errorf("%s/%d baseline: %w", kind, side*side, ErrNoCompletedFlows)
-	}
-
-	jct := base.JCT
+// e10Schedule derives the churn timeline from a baseline JCT so flaps land
+// mid-traffic at every scale: eight Poisson link flaps spread across the
+// first half of the run plus one node-loss pulse on the fabric's center
+// node (all of whose flows must starve until the node returns). Pure
+// function of the per-rung seed — byte-identical at any worker count.
+func e10Schedule(kind string, side int, g *topo.Graph, jct sim.Duration) (*faults.Schedule, int) {
 	const flapPulses = 8
 	sched := faults.PoissonFlaps(sim.NewRNG(int64(side)*1009+int64(len(kind))), g, faults.FlapConfig{
 		Flaps:      flapPulses,
@@ -57,7 +45,31 @@ func e10Rung(kind string, side int) (e10Cell, error) {
 		faults.Event{At: sim.Time(jct / 10 * 3), Target: int(center), Kind: faults.NodeDown},
 		faults.Event{At: sim.Time(jct / 10 * 4), Target: int(center), Kind: faults.NodeUp},
 	))
+	return sched, flapPulses
+}
 
+func e10Graph(kind string, side int) *topo.Graph {
+	if kind == "grid" {
+		return topo.NewGrid(side, side, topo.Options{})
+	}
+	return topo.NewTorus(side, side, topo.Options{})
+}
+
+// e10Rung runs one fluid churn trial.
+func e10Rung(kind string, side int) (e10Cell, error) {
+	g := e10Graph(kind, side)
+	rng := sim.NewRNG(int64(side) * 31)
+	specs := workload.Permutation(rng, side*side, workload.Fixed(1e6))
+
+	base, err := fluid.Run(fluid.Config{Graph: g}, specs)
+	if err != nil {
+		return e10Cell{}, fmt.Errorf("%s/%d baseline: %w", kind, side*side, err)
+	}
+	if len(base.Flows) == 0 {
+		return e10Cell{}, fmt.Errorf("%s/%d baseline: %w", kind, side*side, ErrNoCompletedFlows)
+	}
+
+	sched, flapPulses := e10Schedule(kind, side, g, base.JCT)
 	reg := telemetry.NewRegistry()
 	sm := fluid.NewSolverMetrics(reg)
 	churn, err := fluid.Run(fluid.Config{Graph: g, Faults: sched, Metrics: sm}, specs)
@@ -67,7 +79,88 @@ func e10Rung(kind string, side int) (e10Cell, error) {
 	if len(churn.Flows) == 0 {
 		return e10Cell{}, fmt.Errorf("%s/%d churn: %w", kind, side*side, ErrNoCompletedFlows)
 	}
-	return e10Cell{base: base, churn: churn, flaps: flapPulses, warmPct: sm.WarmHitPct()}, nil
+	return e10Cell{
+		baseMean: base.MeanFCT, churnMean: churn.MeanFCT,
+		baseP99: base.P99FCT, churnP99: churn.P99FCT,
+		baseJCT: base.JCT, churnJCT: churn.JCT,
+		reroutes: churn.Faults.Reroutes, starved: churn.Faults.StarvedEpisodes,
+		starvedTime: churn.Faults.StarvedTime,
+		flaps:       flapPulses, warmPct: sm.WarmHitPct(),
+	}, nil
+}
+
+// e10PacketRung runs the churn trial on the packet engine: the identical
+// permutation and schedule construction, with the baseline's own packet
+// JCT anchoring the fault timeline. Frame-train batching (16 frames per
+// event) plus the calendar queue are what make this rung affordable — at
+// Full scale it carries the 1024-node fabric the issue tracker's fidelity
+// ladder asks for.
+func e10PacketRung(kind string, side int) (e10Cell, error) {
+	run := func(sched *faults.Schedule) (mean, p99, jct sim.Duration, reroutes, starved int64, starvedTime sim.Duration, err error) {
+		g := e10Graph(kind, side)
+		rng := sim.NewRNG(int64(side) * 31)
+		specs := workload.Permutation(rng, side*side, workload.Fixed(1e6))
+		_, f, err := buildFabric(g, int64(side)*31)
+		if err != nil {
+			return 0, 0, 0, 0, 0, 0, err
+		}
+		f.SetFrameTrains(16)
+		if sched != nil {
+			if _, err := f.ScheduleFaults(sched, nil); err != nil {
+				return 0, 0, 0, 0, 0, 0, err
+			}
+		}
+		flows, err := f.InjectFlows(specs)
+		if err != nil {
+			return 0, 0, 0, 0, 0, 0, err
+		}
+		if err := f.RunUntilDone(sim.Time(60 * sim.Second)); err != nil {
+			return 0, 0, 0, 0, 0, 0, err
+		}
+		fcts := make([]sim.Duration, 0, len(flows))
+		var sum sim.Duration
+		var earliest, latest sim.Time
+		for i, flw := range flows {
+			if !flw.Done() || flw.Failed() {
+				return 0, 0, 0, 0, 0, 0, fmt.Errorf("packet %s/%d: flow %d unfinished", kind, side*side, i)
+			}
+			d := flw.FCT()
+			fcts = append(fcts, d)
+			sum += d
+			end := flw.Started().Add(d)
+			if i == 0 || flw.Started().Before(earliest) {
+				earliest = flw.Started()
+			}
+			if end.After(latest) {
+				latest = end
+			}
+		}
+		if len(fcts) == 0 {
+			return 0, 0, 0, 0, 0, 0, fmt.Errorf("packet %s/%d: %w", kind, side*side, ErrNoCompletedFlows)
+		}
+		sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+		fs := f.FaultStats()
+		return sum / sim.Duration(len(fcts)), fcts[fluid.NearestRank(len(fcts), 99)],
+			latest.Sub(earliest), fs.Reroutes, fs.StarvedEpisodes, fs.StarvedTime, nil
+	}
+
+	baseMean, baseP99, baseJCT, _, _, _, err := run(nil)
+	if err != nil {
+		return e10Cell{}, err
+	}
+	g := e10Graph(kind, side)
+	sched, flapPulses := e10Schedule(kind, side, g, baseJCT)
+	churnMean, churnP99, churnJCT, reroutes, starved, starvedTime, err := run(sched)
+	if err != nil {
+		return e10Cell{}, err
+	}
+	return e10Cell{
+		baseMean: baseMean, churnMean: churnMean,
+		baseP99: baseP99, churnP99: churnP99,
+		baseJCT: baseJCT, churnJCT: churnJCT,
+		reroutes: reroutes, starved: starved, starvedTime: starvedTime,
+		flaps: flapPulses, packet: true,
+	}, nil
 }
 
 // E10 is the churn experiment: the fabric's *adaptive* claim made
@@ -79,14 +172,19 @@ func e10Rung(kind string, side int) (e10Cell, error) {
 // the failure existed, the outage length when flows had to wait for the
 // repair), reroute/starvation counts, and the warm-start oracle's hit rate
 // under capacity perturbation. Full scale carries the 1024- and 4096-node
-// rungs (32×32 / 64×64); Quick stays CI-sized.
+// fluid rungs (32×32 / 64×64) plus a 1024-node *packet* rung — the
+// frame-level fidelity anchor the calendar-queue engine and frame-train
+// batching make affordable; Quick stays CI-sized with a 64-node packet
+// rung exercising the same path.
 func E10(cfg Config) (*Table, error) {
 	sides := []int{8, 16}
+	packetSide := 8
 	if cfg.Scale == Full {
 		sides = []int{32, 64}
+		packetSide = 32
 	}
 	kinds := []string{"grid", "torus"}
-	trials := make([]Trial[e10Cell], 0, len(sides)*len(kinds))
+	trials := make([]Trial[e10Cell], 0, len(sides)*len(kinds)+1)
 	for _, side := range sides {
 		for _, kind := range kinds {
 			side, kind := side, kind
@@ -96,44 +194,56 @@ func E10(cfg Config) (*Table, error) {
 			})
 		}
 	}
+	trials = append(trials, Trial[e10Cell]{
+		Name: fmt.Sprintf("packet/%d", packetSide*packetSide),
+		Run:  func() (e10Cell, error) { return e10PacketRung("torus", packetSide) },
+	})
 	cells, err := Sweep(cfg, trials)
 	if err != nil {
 		return nil, err
 	}
 
 	t := &Table{
-		Title: "E10 — churn: permutation under Poisson link flaps + node loss (fluid engine)",
+		Title: "E10 — churn: permutation under Poisson link flaps + node loss",
 		Columns: []string{
-			"nodes", "topology", "flaps",
+			"nodes", "topology", "engine", "flaps",
 			"base mean FCT (us)", "churn mean FCT (us)",
 			"thr degr (%)", "p99 infl (%)", "recovery (us)",
 			"reroutes", "starved", "warm fills (%)",
 		},
 	}
 	i := 0
+	addRow := func(side int, kind string, c e10Cell) {
+		engine := "fluid"
+		warm := fmt.Sprintf("%.1f", c.warmPct)
+		if c.packet {
+			engine, warm = "packet", "-"
+		}
+		thrDegr := (1 - float64(c.baseJCT)/float64(c.churnJCT)) * 100
+		p99Infl := (float64(c.churnP99)/float64(c.baseP99) - 1) * 100
+		recovery := 0.0
+		if c.starved > 0 {
+			recovery = (c.starvedTime / sim.Duration(c.starved)).Microseconds()
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", side*side), kind, engine,
+			fmt.Sprintf("%d", c.flaps),
+			us(c.baseMean), us(c.churnMean),
+			fmt.Sprintf("%.1f", thrDegr),
+			fmt.Sprintf("%.1f", p99Infl),
+			fmt.Sprintf("%.2f", recovery),
+			fmt.Sprintf("%d", c.reroutes),
+			fmt.Sprintf("%d", c.starved),
+			warm,
+		)
+	}
 	for _, side := range sides {
 		for _, kind := range kinds {
-			c := cells[i]
+			addRow(side, kind, cells[i])
 			i++
-			thrDegr := (1 - float64(c.base.JCT)/float64(c.churn.JCT)) * 100
-			p99Infl := (float64(c.churn.P99FCT)/float64(c.base.P99FCT) - 1) * 100
-			recovery := 0.0
-			if c.churn.Faults.StarvedEpisodes > 0 {
-				recovery = (c.churn.Faults.StarvedTime / sim.Duration(c.churn.Faults.StarvedEpisodes)).Microseconds()
-			}
-			t.AddRow(
-				fmt.Sprintf("%d", side*side), kind,
-				fmt.Sprintf("%d", c.flaps),
-				us(c.base.MeanFCT), us(c.churn.MeanFCT),
-				fmt.Sprintf("%.1f", thrDegr),
-				fmt.Sprintf("%.1f", p99Infl),
-				fmt.Sprintf("%.2f", recovery),
-				fmt.Sprintf("%d", c.churn.Faults.Reroutes),
-				fmt.Sprintf("%d", c.churn.Faults.StarvedEpisodes),
-				fmt.Sprintf("%.1f", c.warmPct),
-			)
 		}
 	}
+	addRow(packetSide, "torus", cells[i])
 	t.AddNote("each rung runs the identical permutation twice: healthy baseline, then under 8 Poisson link")
 	t.AddNote("flaps (outage ~JCT/10) plus a node-loss pulse on the center node; the schedule is derived")
 	t.AddNote("from the baseline JCT so churn always lands mid-traffic, and is byte-replayable from its seed")
@@ -141,5 +251,7 @@ func E10(cfg Config) (*Table, error) {
 	t.AddNote("affected flow rerouted instantly); warm fills = refills the warm-start oracle replayed end to end")
 	t.AddNote("negative degradation is real, not noise: a flap forces flows off the permutation's hot links,")
 	t.AddNote("the VLB-like spreading the A3 ablation measures — adaptivity can beat a healthy-but-greedy fabric")
+	t.AddNote("the packet rung replays the same churn construction frame by frame (trains of 16) — the")
+	t.AddNote("calendar-queue engine's fidelity anchor; its fault columns come from the fabric's own accounting")
 	return t, nil
 }

@@ -92,7 +92,9 @@ func (f *Fabric) transmit(node, port int, fr *switching.Frame) {
 	}
 	fecLat := link.FEC().Latency
 
-	// Channel error model.
+	// Channel error model. A train draws once for its whole wire burst
+	// (runs that inject BER pin NICs to per-frame granularity, so trains
+	// only ever see clean channels in practice).
 	outcome := link.TransferFrame(f.rng, f.eng.Now(), fr.DataBits)
 	if outcome.Lost {
 		// Cut-through semantics: the corrupt frame still propagates; the
@@ -100,7 +102,11 @@ func (f *Fabric) transmit(node, port int, fr *switching.Frame) {
 		if ctx, ok := fr.Meta.(*host.FrameCtx); ok {
 			ctx.Corrupt = true
 		}
-		f.stats.Corrupt.Inc()
+		n := int64(fr.Frames)
+		if n < 1 {
+			n = 1
+		}
+		f.stats.Corrupt.Add(n)
 	}
 
 	// Direction accounting for utilization reports.
@@ -143,11 +149,17 @@ func minInt64(a, b int64) int64 {
 	return b
 }
 
-// deliver hands fr to the destination host.
+// deliver hands fr to the destination host, expanding a train back to
+// per-member-frame accounting so frame-level telemetry stays comparable
+// across train lengths.
 func (f *Fabric) deliver(node int, fr *switching.Frame) {
-	f.stats.Delivered.Inc()
-	f.stats.Latency.Record(int64(f.eng.Now().Sub(fr.Injected)))
-	f.stats.Hops.Record(int64(fr.Hops))
+	n := int64(fr.Frames)
+	if n < 1 {
+		n = 1
+	}
+	f.stats.Delivered.Add(n)
+	f.stats.Latency.RecordN(int64(f.eng.Now().Sub(fr.Injected)), n)
+	f.stats.Hops.RecordN(int64(fr.Hops), n)
 	f.hosts[node].Deliver(fr, f.hosts[fr.SrcNode])
 }
 

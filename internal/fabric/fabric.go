@@ -120,10 +120,12 @@ type Fabric struct {
 	plpBusy      bool
 	plpServed    int
 
-	// Fault replay (see faults.go): stable edge-index lookup and the
-	// applied-event counters Report surfaces.
+	// Fault replay (see faults.go): stable edge-index lookup, the
+	// applied-event counters Report surfaces, and the open starvation
+	// episodes (flow ID → episode start) awaiting a healing repair.
 	edgeByIdx  []*topo.Edge
 	faultStats FaultStats
+	starved    map[host.FlowID]sim.Time
 }
 
 // New assembles a fabric over the given graph.
@@ -246,6 +248,15 @@ func (f *Fabric) SetVLB(enabled bool) {
 		f.vlb = route.NewVLB(f.table, f.g.NumNodes())
 	} else {
 		f.vlb = nil
+	}
+}
+
+// SetFrameTrains sets every NIC's train-coalescing limit for frames
+// queued from now on. Callers that switch a run to per-frame observation
+// (BER injection, CRC telemetry) pass 1 to restore per-frame events.
+func (f *Fabric) SetFrameTrains(n int) {
+	for _, h := range f.hosts {
+		h.SetTrainLength(n)
 	}
 }
 

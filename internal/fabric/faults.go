@@ -14,18 +14,28 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rackfab/internal/faults"
+	"rackfab/internal/host"
 	"rackfab/internal/phy"
+	"rackfab/internal/sim"
 	"rackfab/internal/topo"
 )
 
 // FaultStats counts the fabric's applied fault replay, mirroring the fluid
-// engine's accounting: capacity events after node-loss lowering, and
-// routing-table destination columns rebuilt by incremental repair.
+// engine's accounting: capacity events after node-loss lowering,
+// routing-table destination columns rebuilt by incremental repair, active
+// flows a fault instant pushed onto new paths, and starvation episodes —
+// flows whose destination a fault cut off entirely, closed (and only then
+// counted, matching the fluid engine) when a later repair heals the
+// partition with positive elapsed time.
 type FaultStats struct {
-	CapacityEvents int64
-	RouteRepairs   int64
+	CapacityEvents  int64
+	RouteRepairs    int64
+	Reroutes        int64
+	StarvedEpisodes int64
+	StarvedTime     sim.Duration
 }
 
 // FaultStats returns the replay counters accumulated so far.
@@ -84,9 +94,29 @@ func (f *Fabric) ScheduleFaults(sched *faults.Schedule, onApply func(evs []fault
 // routing table once. Returns the number of destination columns rebuilt.
 func (f *Fabric) applyFaultGroup(evs []faults.LinkEvent) int {
 	edges := make([]*topo.Edge, len(evs))
+	downed := make(map[*topo.Edge]bool)
+	restored := false
 	for i, ev := range evs {
 		e := f.edgeByIdx[ev.Edge]
 		edges[i] = e
+		if ev.Factor == 0 && e.Enabled() {
+			downed[e] = true
+		} else if ev.Factor > 0 && !e.Enabled() {
+			restored = true
+		}
+	}
+	// Flow-level impact snapshot against the pre-repair table: the flows
+	// whose current forwarding path rides a link this instant kills are the
+	// ones the repair will either push onto detours or cut off. Frames
+	// already in flight recover through the drop/retransmit path; this is
+	// the flow-granular accounting the fluid engine keeps, so both engines
+	// report comparable fault columns.
+	var hit []*host.Flow
+	if len(downed) > 0 {
+		hit = f.flowsCrossing(downed)
+	}
+	for i, ev := range evs {
+		e := edges[i]
 		f.faultStats.CapacityEvents++
 		switch {
 		case ev.Factor == 0:
@@ -101,11 +131,88 @@ func (f *Fabric) applyFaultGroup(evs []faults.LinkEvent) int {
 	}
 	cols := f.table.RepairBatch(f.g, f.costFn, edges)
 	f.faultStats.RouteRepairs += int64(cols)
+	now := f.eng.Now()
+	for _, fl := range hit {
+		if f.table.Reachable(topo.NodeID(fl.Src), topo.NodeID(fl.Dst)) {
+			f.faultStats.Reroutes++
+		} else if f.starved == nil || !f.starvedSince(fl.ID) {
+			if f.starved == nil {
+				f.starved = make(map[host.FlowID]sim.Time)
+			}
+			f.starved[fl.ID] = now
+		}
+	}
+	if restored && len(f.starved) > 0 {
+		f.closeHealedStarvation(now)
+	}
 	if cols > 0 && f.vlb != nil {
 		f.SetVLB(true) // re-derive VLB over the repaired table
 	}
 	f.samplePower()
 	return cols
+}
+
+// starvedSince reports whether flow id already has an open starvation
+// episode.
+func (f *Fabric) starvedSince(id host.FlowID) bool {
+	_, ok := f.starved[id]
+	return ok
+}
+
+// flowsCrossing returns, in ascending flow-ID order, every active flow
+// whose current shortest path (under the pre-repair table) crosses a link
+// in `downed`. Flows whose destination was already unreachable are skipped:
+// their episode is already open.
+func (f *Fabric) flowsCrossing(downed map[*topo.Edge]bool) []*host.Flow {
+	ids := make([]host.FlowID, 0, len(f.active))
+	for id := range f.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var hit []*host.Flow
+	for _, id := range ids {
+		fl := f.active[id]
+		path, err := f.table.Path(topo.NodeID(fl.Src), topo.NodeID(fl.Dst))
+		if err != nil {
+			continue
+		}
+		for _, e := range path {
+			if downed[e] {
+				hit = append(hit, fl)
+				break
+			}
+		}
+	}
+	return hit
+}
+
+// closeHealedStarvation closes — and only then counts, mirroring the fluid
+// engine's revive-time accounting — every open starvation episode whose
+// destination the just-applied repair made reachable again. Zero-duration
+// episodes (cut and healed within one instant) never count. Episodes of
+// flows that completed or failed during the outage close silently: the
+// flow never returned to service.
+func (f *Fabric) closeHealedStarvation(now sim.Time) {
+	ids := make([]host.FlowID, 0, len(f.starved))
+	for id := range f.starved {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fl, active := f.active[id]
+		if !active {
+			delete(f.starved, id)
+			continue
+		}
+		if !f.table.Reachable(topo.NodeID(fl.Src), topo.NodeID(fl.Dst)) {
+			continue
+		}
+		if d := now.Sub(f.starved[id]); d > 0 {
+			f.faultStats.StarvedEpisodes++
+			f.faultStats.StarvedTime += d
+		}
+		delete(f.starved, id)
+	}
 }
 
 // setActiveLanes darkens or relights administratively togglable lanes

@@ -29,29 +29,60 @@ import (
 // moves flows — off a dead link if an alternative exists, back onto live
 // paths for flows a restore just un-partitioned.
 func (en *engine) applyLinkEvent(now sim.Time, ev faults.LinkEvent) {
-	li := int32(ev.Edge)
-	newCap := en.nominalCap[li] * ev.Factor
-	wasUp := en.linkCap[li] > 0
-	isUp := newCap > 0
-	en.stats.CapacityEvents++
-	en.linkCap[li] = newCap
-	if wasUp != isUp {
-		e := en.edgeByIdx[li]
-		e.SetEnabled(isUp)
-		if en.table != nil {
-			en.stats.RouteRepairs += int64(en.table.Repair(en.graph, route.UniformCost, e))
-			en.routesChanged = true
-		}
-		if !isUp {
-			en.rerouteOff(now, li)
+	en.faultGroup = append(en.faultGroup[:0], ev)
+	en.applyLinkEventGroup(now, en.faultGroup)
+}
+
+// applyLinkEventGroup applies every lowered fault event of one schedule
+// instant as a single topology transaction — the discipline the packet
+// fabric's fault replay already follows. A node loss lowers to one event
+// per incident link, all at the same At; applying them one at a time paid
+// one table repair, one reroute pass, and one refill per link, with flows
+// chasing intermediate topologies that never exist observably (no
+// simulated time separates the events). The group path commits all
+// capacity and administrative changes first, repairs the table once
+// through RepairBatch, then reroutes off every downed link in event order
+// and re-solves the union component with a single refill. Final paths and
+// rates are those of the fully-updated topology either way (zero time
+// elapses between same-instant events, so the intermediate solves settle
+// no volume) — TestFaultGroupMatchesSequential holds the two shapes to
+// identical flow outcomes.
+func (en *engine) applyLinkEventGroup(now sim.Time, evs []faults.LinkEvent) {
+	en.faultSeeds = en.faultSeeds[:0]
+	en.faultEdges = en.faultEdges[:0]
+	en.faultDowned = en.faultDowned[:0]
+	restored := false
+	for _, ev := range evs {
+		li := int32(ev.Edge)
+		newCap := en.nominalCap[li] * ev.Factor
+		wasUp := en.linkCap[li] > 0
+		isUp := newCap > 0
+		en.stats.CapacityEvents++
+		en.linkCap[li] = newCap
+		en.faultSeeds = append(en.faultSeeds, li)
+		if wasUp != isUp {
+			e := en.edgeByIdx[li]
+			e.SetEnabled(isUp)
+			en.faultEdges = append(en.faultEdges, e)
+			if !isUp {
+				en.faultDowned = append(en.faultDowned, li)
+			} else {
+				restored = true
+			}
 		}
 	}
-	// Re-solve what is left on the link: survivors of a degrade pick up
-	// the new share, stranded flows of a down link freeze at rate 0,
-	// flows of a restored link get their capacity back.
-	en.faultSeed[0] = li
-	en.refill(now, en.faultSeed[:], -1)
-	if isUp && !wasUp {
+	if len(en.faultEdges) > 0 && en.table != nil {
+		en.stats.RouteRepairs += int64(en.table.RepairBatch(en.graph, route.UniformCost, en.faultEdges))
+		en.routesChanged = true
+	}
+	for _, li := range en.faultDowned {
+		en.rerouteOff(now, li)
+	}
+	// Re-solve what is left on the changed links: survivors of a degrade
+	// pick up the new share, stranded flows of a down link freeze at rate
+	// 0, flows of a restored link get their capacity back.
+	en.refill(now, en.faultSeeds, -1)
+	if restored {
 		en.rescueStarved(now)
 	}
 }

@@ -1,10 +1,12 @@
 package fluid
 
 import (
+	"slices"
 	"strings"
 	"testing"
 
 	"rackfab/internal/faults"
+	"rackfab/internal/route"
 	"rackfab/internal/sim"
 	"rackfab/internal/telemetry"
 	"rackfab/internal/topo"
@@ -189,6 +191,245 @@ func TestFaultedRunRestoresGraph(t *testing.T) {
 	if base.Faults.CapacityEvents != 0 {
 		t.Fatalf("fault-free rerun saw %d capacity events", base.Faults.CapacityEvents)
 	}
+}
+
+// TestFaultGroupMatchesSequential: a node loss lowers to one capacity
+// event per incident link, all at the same instant. Applying that instant
+// as one group (one RepairBatch, one reroute pass, one refill) must leave
+// every traffic-carrying flow on the same path, at the same rate, with the
+// same remaining volume, as applying the events one at a time — no
+// simulated time separates the events, so the intermediate topologies the
+// sequential path routes against are unobservable. The transit scenario
+// (no flow terminates at the lost node) demands full equivalence through
+// to the drained completion records. The endpoint scenario pins down the
+// bug the group path fixes: sequential restore rescues starved flows after
+// every individual link-up, stranding them on detours through half-healed
+// topologies, while the group rescues once against the instant's true
+// final table — so rescued flows must sit on exactly the healed table's
+// shortest paths, never longer than sequential left them.
+func TestFaultGroupMatchesSequential(t *testing.T) {
+	const lost = 5 // interior node of the 4x4 grid: four incident links per instant
+	down, up := sim.Time(sim.Millisecond), sim.Time(3*sim.Millisecond)
+
+	mk := func(specs []workload.FlowSpec) (*topo.Graph, *engine) {
+		t.Helper()
+		g := topo.NewGrid(4, 4, topo.Options{})
+		en := newEngine(g, 450*sim.Nanosecond)
+		if err := en.addFlows(specs); err != nil {
+			t.Fatal(err)
+		}
+		for i := range en.flows {
+			en.arrive(int32(i), 0)
+		}
+		return g, en
+	}
+	lower := func(g *topo.Graph) []faults.LinkEvent {
+		t.Helper()
+		sched := faults.New(
+			faults.Event{At: down, Target: lost, Kind: faults.NodeDown},
+			faults.Event{At: up, Target: lost, Kind: faults.NodeUp},
+		)
+		evs, err := sched.Links(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs)%2 != 0 || evs[len(evs)/2-1].At != down || evs[len(evs)/2].At != up {
+			t.Fatalf("unexpected lowering %v", evs)
+		}
+		return evs
+	}
+	apply := func(en *engine, evs []faults.LinkEvent, grouped bool) {
+		if grouped {
+			en.applyLinkEventGroup(evs[0].At, evs)
+			return
+		}
+		for _, ev := range evs {
+			en.applyLinkEvent(ev.At, ev)
+		}
+	}
+	// Remaining volume is stored lazily as (remaining, settled): an
+	// unchanged rate skips settlement, so the two engines anchor the same
+	// physical volume at different instants. Normalize to the comparison
+	// instant; the differing subtraction chains cost at most ULPs.
+	norm := func(f *flowState, at sim.Time) float64 {
+		return f.remaining - f.rate*at.Sub(f.settled).Seconds()
+	}
+	sameFlows := func(seq, batch *engine, phase string, at sim.Time) {
+		t.Helper()
+		for fid := range seq.flows {
+			sf, bf := &seq.flows[fid], &batch.flows[fid]
+			if sf.starved != bf.starved {
+				t.Errorf("%s: flow %d starved %v vs %v", phase, fid, sf.starved, bf.starved)
+			}
+			// A starved flow's parked path is unobservable: it moves no
+			// bits there and rescueStarved re-paths it on the healing
+			// repair. Sequential application parks it on whichever
+			// intermediate-topology path it last held; the group parks it
+			// on its pre-fault path.
+			if !sf.starved && !slices.Equal(sf.links, bf.links) {
+				t.Errorf("%s: flow %d paths diverged: %v vs %v", phase, fid, sf.links, bf.links)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		for fid := range seq.flows {
+			sf, bf := &seq.flows[fid], &batch.flows[fid]
+			if sf.rate != bf.rate {
+				t.Errorf("%s: flow %d rate diverged: %v vs %v", phase, fid, sf.rate, bf.rate)
+			}
+			sr, br := norm(sf, at), norm(bf, at)
+			if d := sr - br; d > 1e-3 || d < -1e-3 {
+				t.Errorf("%s: flow %d remaining diverged: %v vs %v", phase, fid, sr, br)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	sameStats := func(seq, batch *engine) {
+		t.Helper()
+		if seq.stats.CapacityEvents != batch.stats.CapacityEvents {
+			t.Fatalf("capacity events %d vs %d", seq.stats.CapacityEvents, batch.stats.CapacityEvents)
+		}
+		if seq.stats.StarvedEpisodes != batch.stats.StarvedEpisodes || seq.stats.StarvedTime != batch.stats.StarvedTime {
+			t.Fatalf("starvation accounting diverged: %+v vs %+v", seq.stats.FaultStats, batch.stats.FaultStats)
+		}
+		if batch.stats.RouteRepairs > seq.stats.RouteRepairs {
+			t.Fatalf("batch rebuilt %d columns, sequential only %d", batch.stats.RouteRepairs, seq.stats.RouteRepairs)
+		}
+		if batch.stats.Reroutes > seq.stats.Reroutes {
+			t.Fatalf("batch rerouted %d times, sequential only %d", batch.stats.Reroutes, seq.stats.Reroutes)
+		}
+	}
+	drain := func(en *engine) []FlowResult {
+		t.Helper()
+		var out []FlowResult
+		for en.activeCount > 0 {
+			at, fid := en.nextDone()
+			if fid < 0 {
+				t.Fatal("stalled with active flows")
+			}
+			out = append(out, en.complete(fid, at))
+		}
+		return out
+	}
+
+	t.Run("transit", func(t *testing.T) {
+		// Corner-to-corner flows around the lost node: reroutes, no
+		// starvation, so nothing depends on rescue order and the two
+		// application shapes must agree on everything observable.
+		specs := []workload.FlowSpec{
+			{Src: 0, Dst: 10, Bytes: 10e6}, {Src: 1, Dst: 9, Bytes: 10e6},
+			{Src: 4, Dst: 6, Bytes: 10e6}, {Src: 12, Dst: 2, Bytes: 10e6},
+			{Src: 8, Dst: 7, Bytes: 10e6}, {Src: 13, Dst: 3, Bytes: 10e6},
+		}
+		gSeq, seq := mk(specs)
+		gBatch, batch := mk(specs)
+		evsSeq, evsBatch := lower(gSeq), lower(gBatch)
+		h := len(evsSeq) / 2
+
+		apply(seq, evsSeq[:h], false)
+		apply(batch, evsBatch[:h], true)
+		sameFlows(seq, batch, "after node loss", down)
+		if seq.stats.Reroutes == 0 {
+			t.Fatal("node loss rerouted nothing — the scenario is inert")
+		}
+		if seq.starvedNow != 0 {
+			t.Fatalf("%d transit flows starved — meant to exercise the no-rescue path", seq.starvedNow)
+		}
+
+		apply(seq, evsSeq[h:], false)
+		apply(batch, evsBatch[h:], true)
+		sameFlows(seq, batch, "after restore", up)
+		sameStats(seq, batch)
+
+		sr, br := drain(seq), drain(batch)
+		for i := range sr {
+			if sr[i].Spec != br[i].Spec || sr[i].Start != br[i].Start || sr[i].Hops != br[i].Hops {
+				t.Fatalf("completion %d diverged:\nseq:   %+v\nbatch: %+v", i, sr[i], br[i])
+			}
+			// The settle chains differ (sequential settles at every
+			// intermediate refill), costing at most ULPs of remaining
+			// volume — picoseconds of FCT.
+			if d := sr[i].FCT - br[i].FCT; d > sim.Nanosecond || d < -sim.Nanosecond {
+				t.Fatalf("completion %d FCT diverged: %v vs %v", i, sr[i].FCT, br[i].FCT)
+			}
+		}
+	})
+
+	t.Run("endpoint", func(t *testing.T) {
+		// A permutation includes flows terminating at the lost node: they
+		// starve through the outage and rescue on restore.
+		specs := workload.Permutation(sim.NewRNG(7), 16, workload.Fixed(10e6))
+		gSeq, seq := mk(specs)
+		gBatch, batch := mk(specs)
+		evsSeq, evsBatch := lower(gSeq), lower(gBatch)
+		h := len(evsSeq) / 2
+
+		apply(seq, evsSeq[:h], false)
+		apply(batch, evsBatch[:h], true)
+		sameFlows(seq, batch, "after node loss", down)
+		if seq.starvedNow == 0 {
+			t.Fatal("node loss starved nothing — the scenario is inert")
+		}
+		rescued := make([]int32, 0, len(batch.flows))
+		for fid := range batch.flows {
+			if batch.flows[fid].starved {
+				rescued = append(rescued, int32(fid))
+			}
+		}
+
+		apply(seq, evsSeq[h:], false)
+		apply(batch, evsBatch[h:], true)
+		sameStats(seq, batch)
+
+		// The group's one rescue pass runs against the instant's final
+		// table: every rescued flow must sit on exactly the healed
+		// topology's shortest path. Sequential rescue fires after each
+		// individual link-up and can strand a flow on a detour through the
+		// half-healed fabric — never shorter than the group's choice.
+		healed := route.Build(gBatch, route.UniformCost)
+		for _, fid := range rescued {
+			bf, sf := &batch.flows[fid], &seq.flows[fid]
+			if bf.starved || sf.starved {
+				t.Fatalf("flow %d still starved after the restore instant", fid)
+			}
+			path, err := healed.Path(topo.NodeID(bf.spec.Src), topo.NodeID(bf.spec.Dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]int32, len(path))
+			for i, e := range path {
+				want[i] = int32(e.Index())
+			}
+			if !slices.Equal(bf.links, want) {
+				t.Fatalf("rescued flow %d not on the healed shortest path: %v, want %v", fid, bf.links, want)
+			}
+			if len(bf.links) > len(sf.links) {
+				t.Fatalf("group rescue left flow %d on %d hops, sequential managed %d", fid, len(bf.links), len(sf.links))
+			}
+		}
+		// Unrescued flows kept their outage detours in both shapes.
+		for fid := range seq.flows {
+			if !slices.Contains(rescued, int32(fid)) && !slices.Equal(seq.flows[fid].links, batch.flows[fid].links) {
+				t.Fatalf("unstarved flow %d paths diverged: %v vs %v", fid, seq.flows[fid].links, batch.flows[fid].links)
+			}
+		}
+
+		// Both shapes drain completely; the group never costs a flow hops.
+		sr, br := drain(seq), drain(batch)
+		seqHops, batchHops := 0, 0
+		for i := range sr {
+			seqHops += sr[i].Hops
+		}
+		for i := range br {
+			batchHops += br[i].Hops
+		}
+		if batchHops > seqHops {
+			t.Fatalf("group application cost hops: %d vs sequential %d", batchHops, seqHops)
+		}
+	})
 }
 
 // TestSolverMetricsExposed: the telemetry bridge totals the run's counters

@@ -201,11 +201,18 @@ func (s *Session) advance(until sim.Time, idleForward bool) error {
 		// infrastructure, so a same-instant arrival already sees the new
 		// topology. Arrivals win ties against completions, as in the
 		// original engine; tied completions resolve in flow-ID order via
-		// the heap.
+		// the heap. Every fault event sharing the instant applies as one
+		// group: a node loss lowers to per-link events at the same At, and
+		// the engine commits them through a single table RepairBatch and
+		// refill rather than chasing intermediate topologies.
 		switch {
 		case next == nextFault && s.faulted < len(s.linkEvents):
-			en.applyLinkEvent(s.now, s.linkEvents[s.faulted])
-			s.faulted++
+			j := s.faulted + 1
+			for j < len(s.linkEvents) && s.linkEvents[j].At == s.linkEvents[s.faulted].At {
+				j++
+			}
+			en.applyLinkEventGroup(s.now, s.linkEvents[s.faulted:j])
+			s.faulted = j
 		case next == nextArrival && s.arrived < len(en.flows):
 			s.res.Events++
 			en.arrive(int32(s.arrived), s.now)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"slices"
 
+	"rackfab/internal/faults"
 	"rackfab/internal/heapx"
 	"rackfab/internal/route"
 	"rackfab/internal/sim"
@@ -94,8 +95,15 @@ type engine struct {
 	edgeByIdx     []*topo.Edge
 	routesChanged bool
 	starvedNow    int
-	seedBuf       []int32  // reroute refill seed: old path ∪ new path
-	faultSeed     [1]int32 // single-link refill seed for capacity events
+	seedBuf       []int32 // reroute refill seed: old path ∪ new path
+
+	// Fault-group scratch (applyLinkEventGroup): the instant's changed
+	// links (refill seed), admin-flipped edges (one RepairBatch), and
+	// downed links (reroute pass), reused across events.
+	faultGroup  []faults.LinkEvent
+	faultSeeds  []int32
+	faultEdges  []*topo.Edge
+	faultDowned []int32
 
 	// stats accumulates the run's solver and fault observability counters,
 	// copied into Result (and any configured SolverMetrics) at end of run.

@@ -68,10 +68,16 @@ func (f *Flow) Retransmits() int64 { return f.retx }
 // switching.Frame.Meta.
 type FrameCtx struct {
 	Flow *Flow
-	// Seq is the frame index within the flow.
+	// Seq is the frame index within the flow (the first member's index
+	// when the context describes a train).
 	Seq int64
-	// PayloadBytes is the frame's payload size.
+	// PayloadBytes is the frame's payload size (the summed member payload
+	// for a train).
 	PayloadBytes int
+	// Frames is the member-frame count: 1 for an ordinary frame, >1 when
+	// the context describes a train of consecutive same-flow MTU frames
+	// coalesced into one scheduling event.
+	Frames int
 	// Corrupt marks a frame poisoned by an uncorrectable FEC block; the
 	// receiving NIC detects it on the final FCS check and NACKs.
 	Corrupt bool
@@ -92,11 +98,19 @@ type Config struct {
 	NICRate float64
 	// MTU is the payload bytes per frame.
 	MTU int
+	// TrainLength is the maximum number of consecutive same-flow MTU
+	// frames the NIC coalesces into one train event (≤1 disables
+	// batching: every frame is its own event). Trains charge the wire the
+	// exact per-frame bit total, so throughput and fair sharing are
+	// unchanged; only event granularity coarsens. Keep it at 1 when the
+	// run observes individual frames — per-frame BER injection or the CRC
+	// telemetry loop.
+	TrainLength int
 }
 
-// DefaultConfig matches a 100G host NIC.
+// DefaultConfig matches a 100G host NIC at per-frame granularity.
 func DefaultConfig() Config {
-	return Config{NICRate: 100e9, MTU: 1500}
+	return Config{NICRate: 100e9, MTU: 1500, TrainLength: 1}
 }
 
 // Callbacks connect a host to the fabric.
@@ -178,34 +192,50 @@ func (h *Host) StartFlow(f *Flow) {
 	h.enqueueFlowFrames(f)
 }
 
-// enqueueFlowFrames slices the flow into MTU frames and queues them.
+// enqueueFlowFrames slices the flow into MTU frames, coalesces up to
+// TrainLength consecutive ones into train events, and queues them.
 func (h *Host) enqueueFlowFrames(f *Flow) {
+	train := h.cfg.TrainLength
+	if train < 1 {
+		train = 1
+	}
 	remaining := f.Bytes
 	seq := int64(0)
 	for remaining > 0 {
-		payload := int64(h.cfg.MTU)
+		payload := int64(train) * int64(h.cfg.MTU)
 		if remaining < payload {
 			payload = remaining
 		}
-		h.queueFrame(f, seq, int(payload), false)
+		members := (int(payload) + h.cfg.MTU - 1) / h.cfg.MTU
+		h.queueFrame(f, seq, int(payload), members, false)
 		remaining -= payload
-		seq++
+		seq += int64(members)
 	}
 	f.frames = seq
 	h.pump()
 }
 
-// queueFrame appends one frame to the NIC queue.
-func (h *Host) queueFrame(f *Flow, seq int64, payload int, retx bool) {
+// wireBits returns the line bits of a frame or train carrying payload
+// bytes across members MTU-sliced frames.
+func (h *Host) wireBits(payload, members int) int64 {
+	if members <= 1 {
+		return netstack.WireBitsForPayload(payload)
+	}
+	return netstack.WireBitsForTrain(h.cfg.MTU, payload)
+}
+
+// queueFrame appends one frame (or train) to the NIC queue.
+func (h *Host) queueFrame(f *Flow, seq int64, payload, members int, retx bool) {
 	id := *h.nextFrame
 	*h.nextFrame++
 	fr := &switching.Frame{
 		ID:       id,
 		SrcNode:  f.Src,
 		DstNode:  f.Dst,
-		DataBits: netstack.WireBitsForPayload(payload),
+		DataBits: h.wireBits(payload, members),
 		FlowID:   uint64(f.ID),
-		Meta:     &FrameCtx{Flow: f, Seq: seq, PayloadBytes: payload, Retransmit: retx},
+		Frames:   members,
+		Meta:     &FrameCtx{Flow: f, Seq: seq, PayloadBytes: payload, Frames: members, Retransmit: retx},
 	}
 	h.sendQ = append(h.sendQ, fr)
 }
@@ -221,8 +251,8 @@ func (h *Host) pump() {
 	fr.Injected = h.eng.Now()
 	tx := sim.Transmission(fr.DataBits, h.cfg.NICRate)
 	h.eng.After(tx, "nic-tx", func() {
-		h.stats.FramesSent.Inc()
 		ctx := fr.Meta.(*FrameCtx)
+		h.stats.FramesSent.Add(int64(ctx.members()))
 		if !ctx.Retransmit {
 			ctx.Flow.sentBytes += int64(ctx.PayloadBytes)
 		}
@@ -241,7 +271,9 @@ func (h *Host) Deliver(fr *switching.Frame, sender *Host) {
 		panic(fmt.Sprintf("host %d: misdelivered frame for %d", h.node, fr.DstNode))
 	}
 	if ctx.Corrupt {
-		h.stats.FramesCorrupt.Inc()
+		// A corrupt train NACKs and resends whole: the members shared one
+		// wire event, so corruption poisons all of them together.
+		h.stats.FramesCorrupt.Add(int64(ctx.members()))
 		delay := sim.Duration(0)
 		if h.cb.NACKDelay != nil {
 			delay = h.cb.NACKDelay(h.node, fr.SrcNode)
@@ -249,7 +281,7 @@ func (h *Host) Deliver(fr *switching.Frame, sender *Host) {
 		sender.Retransmit(ctx, delay)
 		return
 	}
-	h.stats.FramesDelivered.Inc()
+	h.stats.FramesDelivered.Add(int64(ctx.members()))
 	h.stats.BytesDelivered.Add(int64(ctx.PayloadBytes))
 	flow := ctx.Flow
 	flow.ackedBytes += int64(ctx.PayloadBytes)
@@ -292,11 +324,32 @@ func (h *Host) queueFrameCtx(ctx *FrameCtx) {
 		ID:       id,
 		SrcNode:  ctx.Flow.Src,
 		DstNode:  ctx.Flow.Dst,
-		DataBits: netstack.WireBitsForPayload(ctx.PayloadBytes),
+		DataBits: h.wireBits(ctx.PayloadBytes, ctx.members()),
 		FlowID:   uint64(ctx.Flow.ID),
+		Frames:   ctx.members(),
 		Meta:     ctx,
 	}
 	h.sendQ = append(h.sendQ, fr)
+}
+
+// members returns the context's member-frame count, treating legacy
+// zero-valued contexts as single frames.
+func (c *FrameCtx) members() int {
+	if c.Frames < 1 {
+		return 1
+	}
+	return c.Frames
+}
+
+// SetTrainLength changes the NIC's coalescing limit for frames queued
+// from now on (in-flight and already-queued frames keep their shape).
+// The fabric drops every NIC to per-frame granularity when a run turns
+// on per-frame observation such as BER injection.
+func (h *Host) SetTrainLength(n int) {
+	if n < 1 {
+		n = 1
+	}
+	h.cfg.TrainLength = n
 }
 
 // QueuedFrames returns the NIC backlog (testing and telemetry).

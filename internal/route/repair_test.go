@@ -265,3 +265,59 @@ func TestRepairTriageIsSelective(t *testing.T) {
 	tablesEqual(t, "line", Build(line, UniformCost), ltab)
 	end.SetEnabled(true)
 }
+
+// TestRepairTieScrubAvoidsRebuild: on a symmetric fabric most columns see a
+// failed edge only through their ECMP tie sets — their distances survive, so
+// the triage must scrub those rows in place instead of re-running Dijkstra.
+// The rebuilt-column count must stay strictly below the number of columns
+// whose shortest-path DAG references the edge at all (what a
+// reference-counting triage rebuilds), in both the failure and the restore
+// direction, while the table stays bit-identical to a fresh Build.
+func TestRepairTieScrubAvoidsRebuild(t *testing.T) {
+	g := topo.NewTorus(8, 8, topo.Options{})
+	tab := Build(g, UniformCost)
+	e := g.Edges()[0]
+	n := g.NumNodes()
+
+	// Columns whose shortest-path DAG references e as primary or tie.
+	referenced := 0
+	for dst := 0; dst < n; dst++ {
+		hit := false
+		for from := 0; from < n && !hit; from++ {
+			idx := from*n + dst
+			if tab.primary[idx] == e {
+				hit = true
+				break
+			}
+			for k := int32(0); k < tab.ecmpCnt[idx]; k++ {
+				if tab.arena[tab.ecmpOff[idx]+k] == e {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			referenced++
+		}
+	}
+	if referenced < 4 {
+		t.Fatalf("edge referenced by only %d columns — torus symmetry broken?", referenced)
+	}
+
+	e.SetEnabled(false)
+	down := tab.Repair(g, UniformCost, e)
+	if down == 0 {
+		t.Fatal("endpoint columns lost their only 1-hop path yet nothing rebuilt")
+	}
+	if down >= referenced {
+		t.Fatalf("failure rebuilt %d of %d referencing columns — tie scrub never engaged", down, referenced)
+	}
+	tablesEqual(t, "down", Build(g, UniformCost), tab)
+
+	e.SetEnabled(true)
+	up := tab.Repair(g, UniformCost, e)
+	if up == 0 || up >= referenced {
+		t.Fatalf("restore rebuilt %d of %d referencing columns", up, referenced)
+	}
+	tablesEqual(t, "up", Build(g, UniformCost), tab)
+}

@@ -87,25 +87,37 @@ func Build(g *topo.Graph, cost CostFunc) *Table {
 
 // Repair updates the table in place after exactly one edge's cost changed
 // (a link failed, recovered, or was re-priced), re-running Dijkstra only
-// for the destination columns whose shortest-path structure the change can
-// touch. For a cost increase or removal those are the destinations whose
-// shortest-path DAG traversed the edge (the edge was tight:
-// |dist(A,dst) − dist(B,dst)| = oldCost); for a decrease or restore, the
-// destinations where the new cost creates a shorter or newly tied path
-// (newCost + min(dist(A,dst), dist(B,dst)) ≤ max(...)). Both tests are
-// O(1) per destination against the stored distance matrix, so a repair
-// costs O(n) to triage plus one buildForDst per affected column — and a
-// repaired column is bit-identical to what a fresh Build would produce,
-// because it IS a fresh buildForDst over the same cost snapshot.
+// for the destination columns whose shortest-path *distances* the change
+// can move. The triage distinguishes three impacts per destination:
+//
+//   - none: the edge was not on the column's shortest-path DAG and the new
+//     cost creates no shorter or tied path — untouched.
+//   - ties only: distances provably survive, only an ECMP tie set at one
+//     endpoint of the edge changes — a cost increase removing one of ≥2
+//     cost-tied next hops, or a decrease landing exactly on the current
+//     shortest cost. The endpoint's tie list is re-derived in place
+//     against the unchanged distance column (in the same adjacency order
+//     buildForDst uses, so the row stays bit-identical to a fresh build);
+//     no Dijkstra runs.
+//   - full: distances can move (the sole shortest path died, a strictly
+//     shorter path appeared, reachability was restored) — one buildForDst
+//     over the current cost snapshot, bit-identical to a fresh Build.
+//
+// On fabrics with equal-cost path diversity (tori, wide grids) most
+// affected columns are ties-only, cutting a repair from ~k Dijkstra runs
+// to k row scrubs — the ~n-fold cut BenchmarkRouteRebuild's repair arm
+// measures.
 //
 // For a sequence of simultaneous changes (a node loss downs several
-// links), call Repair once per edge: each call triages against the
-// then-current distances, which keeps the single-edge tests sound.
+// links), use RepairBatch — or call Repair once per edge: each call
+// triages against the then-current distances, which keeps the single-edge
+// tests sound.
 //
-// Rebuilt columns append fresh tie lists to the shared arena; the old
-// segments are orphaned, so a table repaired thousands of times grows its
-// arena — rebuild from scratch if repair churn ever dominates. Returns the
-// number of destination columns rebuilt.
+// Rebuilt columns and grown tie lists append fresh segments to the shared
+// arena; the old segments are orphaned, so a table repaired thousands of
+// times grows its arena — rebuild from scratch if repair churn ever
+// dominates. Returns the number of destination columns fully rebuilt
+// (ties-only scrubs are not counted: no column was rebuilt).
 func (t *Table) Repair(g *topo.Graph, cost CostFunc, e *topo.Edge) int {
 	if cost == nil {
 		cost = UniformCost
@@ -124,7 +136,11 @@ func (t *Table) Repair(g *topo.Graph, cost CostFunc, e *topo.Edge) int {
 	scratch := &buildScratch{dist: make([]float64, n)}
 	rebuilt := 0
 	for dst := 0; dst < n; dst++ {
-		if t.columnAffected(dst, a, b, c0, c1) {
+		impact, row := t.columnImpact(dst, a, b, c0, c1)
+		if impact == colTies && t.scrubRow(g, row, dst) {
+			impact = colFull // every tie vanished: distances moved after all
+		}
+		if impact == colFull {
 			buildForDst(g, topo.NodeID(dst), t.costOf, t, scratch)
 			rebuilt++
 		}
@@ -132,37 +148,108 @@ func (t *Table) Repair(g *topo.Graph, cost CostFunc, e *topo.Edge) int {
 	return rebuilt
 }
 
-// columnAffected is Repair's per-destination triage: can an edge (a,b)
-// whose cost moved c0 → c1 touch destination dst's shortest-path structure?
-// For an increase or removal: the edge was tight on the column's DAG
-// (|dist(a,dst) − dist(b,dst)| = c0). For a decrease or restore: the new
-// cost creates a shorter or newly tied path. Both tests are O(1) against
-// the stored distance matrix, which must still describe the table's current
-// columns when the test runs — batch callers triage every change BEFORE
-// rebuilding anything.
-func (t *Table) columnAffected(dst, a, b int, c0, c1 float64) bool {
+// Per-destination triage outcomes.
+const (
+	colNone = iota // untouched
+	colTies        // distances survive; one endpoint's ECMP tie set changes
+	colFull        // distances can move: full column rebuild
+)
+
+// columnImpact is Repair's per-destination triage: how can an edge (a,b)
+// whose cost moved c0 → c1 touch destination dst? Returns the impact and,
+// for colTies, the node whose tie set must be re-derived. The test is O(1)
+// against the stored distance matrix, which must still describe the
+// table's current column when the test runs — batch callers triage a
+// column against every change BEFORE mutating it.
+func (t *Table) columnImpact(dst, a, b int, c0, c1 float64) (int, int) {
 	const eps = 1e-9
 	n := t.n
 	da, db := t.dist[a*n+dst], t.dist[b*n+dst]
 	if !math.IsInf(c0, 1) && !math.IsInf(da, 1) && !math.IsInf(db, 1) {
-		gap := da - db
+		gap, hiNode := da-db, a
 		if gap < 0 {
-			gap = -gap
+			gap, hiNode = -gap, b
 		}
 		if math.Abs(gap-c0) < eps { // the edge was on dst's shortest-path DAG
-			return true
+			if c1 < c0 {
+				return colFull, 0 // cheaper edge on the DAG: strictly shorter paths
+			}
+			// Increase or removal: the edge leaves the far endpoint's tie
+			// set. Distances survive iff a cost-tied alternative remains.
+			if t.ecmpCnt[hiNode*n+dst] >= 2 {
+				return colTies, hiNode
+			}
+			return colFull, 0
 		}
 	}
 	if !math.IsInf(c1, 1) {
-		lo, hi := da, db
+		lo, hi, hiNode := da, db, b
 		if lo > hi {
-			lo, hi = hi, lo
+			lo, hi, hiNode = hi, lo, a
 		}
-		// hi may be +Inf (connectivity restored): c1+lo ≤ Inf triggers.
-		if !math.IsInf(lo, 1) && c1+lo <= hi+eps {
-			return true
+		if !math.IsInf(lo, 1) {
+			// hi may be +Inf (connectivity restored): strictly shorter.
+			if c1+lo < hi-eps {
+				return colFull, 0
+			}
+			if c1+lo <= hi+eps {
+				return colTies, hiNode // newly cost-tied next hop
+			}
 		}
 	}
+	return colNone, 0
+}
+
+// scrubRow re-derives the ECMP tie set of one (from, dst) pair against the
+// stored (unchanged) distance column and current cost snapshot, walking
+// g.Adjacent in the same order buildForDst does so the resulting list is
+// bit-identical to a fresh build's. The list shrinks in place; growth
+// appends a fresh arena segment. Returns true when the row emptied — the
+// signal that the triage's distance-survival assumption broke (every tie
+// of a reachable pair vanished) and the caller must fall back to a full
+// column rebuild.
+func (t *Table) scrubRow(g *topo.Graph, from, dst int) bool {
+	const eps = 1e-9
+	n := t.n
+	idx := from*n + dst
+	dv := t.dist[idx]
+	if from == dst || math.IsInf(dv, 1) {
+		return false
+	}
+	adj := g.Adjacent(topo.NodeID(from))
+	tied := func(e *topo.Edge) bool {
+		c := t.costOf[e.Index()]
+		if math.IsInf(c, 1) {
+			return false
+		}
+		return math.Abs(c+t.dist[int(e.Other(topo.NodeID(from)))*n+dst]-dv) < eps
+	}
+	newCnt := int32(0)
+	for _, e := range adj {
+		if tied(e) {
+			newCnt++
+		}
+	}
+	if newCnt == 0 {
+		t.primary[idx] = nil
+		t.ecmpCnt[idx] = 0
+		return true
+	}
+	off := t.ecmpOff[idx]
+	if newCnt > t.ecmpCnt[idx] {
+		off = int32(len(t.arena))
+		t.arena = append(t.arena, make([]*topo.Edge, newCnt)...)
+		t.ecmpOff[idx] = off
+	}
+	w := off
+	for _, e := range adj {
+		if tied(e) {
+			t.arena[w] = e
+			w++
+		}
+	}
+	t.ecmpCnt[idx] = newCnt
+	t.primary[idx] = t.arena[off]
 	return false
 }
 
@@ -207,19 +294,45 @@ func (t *Table) RepairBatch(g *topo.Graph, cost CostFunc, edges []*topo.Edge) in
 		return 0
 	}
 	n := t.n
-	affected := make([]bool, n)
-	for dst := 0; dst < n; dst++ {
-		for _, ch := range changes {
-			if t.columnAffected(dst, ch.a, ch.b, ch.c0, ch.c1) {
-				affected[dst] = true
-				break
-			}
-		}
-	}
 	scratch := &buildScratch{dist: make([]float64, n)}
 	rebuilt := 0
+	var rows []int // ties-only rows of the current column, deduplicated
 	for dst := 0; dst < n; dst++ {
-		if affected[dst] {
+		// Triage this column against every change before mutating it: a
+		// column's own distances are exactly the pre-batch ones until its
+		// scrub/rebuild below, and no other column's repair touches them.
+		impact := colNone
+		rows = rows[:0]
+		for _, ch := range changes {
+			imp, row := t.columnImpact(dst, ch.a, ch.b, ch.c0, ch.c1)
+			if imp == colFull {
+				impact = colFull
+				break
+			}
+			if imp == colTies {
+				impact = colTies
+				dup := false
+				for _, r := range rows {
+					dup = dup || r == row
+				}
+				if !dup {
+					rows = append(rows, row)
+				}
+			}
+		}
+		if impact == colTies {
+			// Scrub each touched row once over the final costs. A row that
+			// empties means the changes composed into a distance move no
+			// single-edge test could see (e.g. both ties of a node dying in
+			// one batch) — escalate to a full rebuild.
+			for _, row := range rows {
+				if t.scrubRow(g, row, dst) {
+					impact = colFull
+					break
+				}
+			}
+		}
+		if impact == colFull {
 			buildForDst(g, topo.NodeID(dst), t.costOf, t, scratch)
 			rebuilt++
 		}

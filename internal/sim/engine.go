@@ -10,7 +10,7 @@ import (
 // goroutine that calls Run, which is the same execution model OMNeT++ uses.
 type Engine struct {
 	now      Time
-	queue    eventQueue
+	queue    calendarQueue
 	seq      uint64
 	executed uint64
 	running  bool
@@ -30,14 +30,14 @@ func New() *Engine {
 }
 
 // NewSized returns an engine whose event list is pre-sized for roughly
-// hint simultaneous pending events, avoiding heap-growth copies during
-// the warm-up of large models.
+// hint simultaneous pending events, avoiding calendar-growth rebuilds
+// during the warm-up of large models.
 func NewSized(hint int) *Engine {
 	if hint < 0 {
 		hint = 0
 	}
 	e := &Engine{limit: Forever}
-	e.queue.items = make([]*event, 0, hint)
+	e.queue.init(hint)
 	return e
 }
 
@@ -118,7 +118,7 @@ func (e *Engine) Cancel(h Event) {
 		return
 	}
 	ev.canceled = true
-	e.queue.remove(ev.index)
+	e.queue.unlink(ev)
 	e.recycle(ev)
 }
 
@@ -128,12 +128,13 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single next event, advancing the clock to it. It returns
 // false when the event list is empty.
 func (e *Engine) Step() bool {
-	// Cancel removes events from the heap eagerly, so whatever pop returns
-	// is live — no cancelled-event skip loop (which would double-recycle).
-	if e.queue.len() == 0 {
+	// Cancel removes events from the calendar eagerly, so whatever pop
+	// returns is live — no cancelled-event skip loop (which would
+	// double-recycle).
+	ev := e.queue.popAtMost(Forever)
+	if ev == nil {
 		return false
 	}
-	ev := e.queue.pop()
 	e.now = ev.at
 	e.executed++
 	fn := ev.fn
@@ -160,18 +161,24 @@ func (e *Engine) RunUntil(limit Time) error {
 	e.stopped = false
 	defer func() { e.running = false }()
 
-	for e.queue.len() > 0 {
-		next := e.queue.items[0]
-		if next.at > limit {
-			e.now = limit
-			return nil
-		}
-		// Step recycles the event it executes, so remember the label now in
-		// case the safety-cap error below needs it.
-		label := next.label
-		if !e.Step() {
+	for {
+		ev := e.queue.popAtMost(limit)
+		if ev == nil {
+			if e.queue.len() > 0 {
+				// Blocked on the limit with later events pending.
+				e.now = limit
+				return nil
+			}
 			break
 		}
+		e.now = ev.at
+		e.executed++
+		fn := ev.fn
+		// Remember the label before recycling in case the safety-cap
+		// error below needs it.
+		label := ev.label
+		e.recycle(ev)
+		fn()
 		if e.stopped {
 			return ErrStopped
 		}

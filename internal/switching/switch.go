@@ -41,6 +41,12 @@ type Frame struct {
 	// VLBPhase2 is Valiant load balancing's per-frame phase bit: false
 	// while the frame heads for its pivot node, true once past it.
 	VLBPhase2 bool
+	// Frames is the member count when this Frame is a train of coalesced
+	// consecutive same-flow frames sharing one scheduling event (0 or 1
+	// means a single frame). DataBits already sums the members' wire
+	// bits; the switch treats a train as one VOQ entry and the endpoints
+	// expand per-member accounting on delivery.
+	Frames int
 	// Deadline, retry counts etc. travel in Meta, opaque to the switch.
 	Meta interface{}
 }

@@ -79,6 +79,23 @@ func (h *Histogram) Record(v int64) {
 	}
 }
 
+// RecordN adds the same sample n times — the per-member expansion of a
+// batched observation (a frame train delivers n frames at one latency).
+func (h *Histogram) RecordN(v int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.counts[h.bucketOf(v)] += n
+	h.count += n
+	h.sum += float64(v) * float64(n)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 { return h.count }
 

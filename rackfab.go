@@ -221,10 +221,17 @@ func New(cfg Config) (*Cluster, error) {
 // buildPacket assembles the packet datapath and, when configured, the CRC.
 func (c *Cluster) buildPacket(g *topo.Graph) error {
 	cfg := c.cfg
-	eng := sim.New()
+	eng := sim.NewSized(4 * g.NumNodes())
 	fcfg := fabric.DefaultConfig(g)
 	fcfg.Seed = cfg.Seed
 	fcfg.PowerCapW = cfg.PowerCapW
+	if !cfg.Control.Enabled {
+		// Without the CRC observing per-frame telemetry, the NICs coalesce
+		// consecutive same-flow frames into trains: identical wire bits and
+		// fair sharing, an order of magnitude fewer datapath events.
+		// SetLinkBER drops the fabric back to per-frame granularity.
+		fcfg.Host.TrainLength = 16
+	}
 	switch cfg.SwitchMode {
 	case CutThrough, "":
 		fcfg.Switch.Mode = switching.CutThrough
@@ -333,6 +340,9 @@ func (c *Cluster) SetLinkBER(a, b int, ber float64) error {
 	for _, lane := range e.Link.Lanes {
 		lane.SetBER(ber)
 	}
+	// BER corrupts individual frames; frames queued from here on must be
+	// per-frame events so the error model observes each one.
+	c.pk.fab.SetFrameTrains(1)
 	return nil
 }
 

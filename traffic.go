@@ -123,11 +123,12 @@ type Summary struct {
 	MaxUs        float64
 }
 
-// FaultReport summarizes applied fault churn. CapacityEvents and
-// RouteRepairs count on both engines; Reroutes, StarvedEpisodes, and
-// MeanRecovery are flow-level accounting only the fluid engine keeps (the
-// packet engine's equivalent shows up as retransmissions and FCT
-// inflation).
+// FaultReport summarizes applied fault churn. Every field counts on both
+// engines: the packet engine accounts at flow granularity per fault
+// instant (a flow whose forwarding path a fault cut either reroutes or
+// opens a starvation episode, closed when a repair heals it), in addition
+// to the frame-level retransmissions and FCT inflation the fault also
+// causes there.
 type FaultReport struct {
 	// CapacityEvents counts applied per-link capacity changes (node loss
 	// lowered to its incident links).
