@@ -172,10 +172,10 @@ func e10PacketRung(kind string, side int) (e10Cell, error) {
 // the failure existed, the outage length when flows had to wait for the
 // repair), reroute/starvation counts, and the warm-start oracle's hit rate
 // under capacity perturbation. Full scale carries the 1024- and 4096-node
-// fluid rungs (32×32 / 64×64) plus a 1024-node *packet* rung — the
-// frame-level fidelity anchor the calendar-queue engine and frame-train
-// batching make affordable; Quick stays CI-sized with a 64-node packet
-// rung exercising the same path.
+// fluid rungs (32×32 / 64×64) plus 1024-node *packet* rungs on both grid
+// and torus — the frame-level fidelity anchors the calendar-queue engine
+// and frame-train batching make affordable; Quick stays CI-sized with
+// 64-node packet rungs exercising the same path.
 func E10(cfg Config) (*Table, error) {
 	sides := []int{8, 16}
 	packetSide := 8
@@ -184,7 +184,7 @@ func E10(cfg Config) (*Table, error) {
 		packetSide = 32
 	}
 	kinds := []string{"grid", "torus"}
-	trials := make([]Trial[e10Cell], 0, len(sides)*len(kinds)+1)
+	trials := make([]Trial[e10Cell], 0, (len(sides)+1)*len(kinds))
 	for _, side := range sides {
 		for _, kind := range kinds {
 			side, kind := side, kind
@@ -194,10 +194,17 @@ func E10(cfg Config) (*Table, error) {
 			})
 		}
 	}
-	trials = append(trials, Trial[e10Cell]{
-		Name: fmt.Sprintf("packet/%d", packetSide*packetSide),
-		Run:  func() (e10Cell, error) { return e10PacketRung("torus", packetSide) },
-	})
+	// The packet rung runs both fabric shapes: the torus arm PR 6 opened
+	// plus the grid arm that completes the fluid-vs-packet differential
+	// story at the same scale (a grid's edge effects concentrate churn on
+	// fewer detours, the harder case for the repair path).
+	for _, kind := range kinds {
+		kind := kind
+		trials = append(trials, Trial[e10Cell]{
+			Name: fmt.Sprintf("packet-%s/%d", kind, packetSide*packetSide),
+			Run:  func() (e10Cell, error) { return e10PacketRung(kind, packetSide) },
+		})
+	}
 	cells, err := Sweep(cfg, trials)
 	if err != nil {
 		return nil, err
@@ -243,7 +250,10 @@ func E10(cfg Config) (*Table, error) {
 			i++
 		}
 	}
-	addRow(packetSide, "torus", cells[i])
+	for _, kind := range kinds {
+		addRow(packetSide, kind, cells[i])
+		i++
+	}
 	t.AddNote("each rung runs the identical permutation twice: healthy baseline, then under 8 Poisson link")
 	t.AddNote("flaps (outage ~JCT/10) plus a node-loss pulse on the center node; the schedule is derived")
 	t.AddNote("from the baseline JCT so churn always lands mid-traffic, and is byte-replayable from its seed")
@@ -251,7 +261,7 @@ func E10(cfg Config) (*Table, error) {
 	t.AddNote("affected flow rerouted instantly); warm fills = refills the warm-start oracle replayed end to end")
 	t.AddNote("negative degradation is real, not noise: a flap forces flows off the permutation's hot links,")
 	t.AddNote("the VLB-like spreading the A3 ablation measures — adaptivity can beat a healthy-but-greedy fabric")
-	t.AddNote("the packet rung replays the same churn construction frame by frame (trains of 16) — the")
-	t.AddNote("calendar-queue engine's fidelity anchor; its fault columns come from the fabric's own accounting")
+	t.AddNote("the packet rungs (grid + torus) replay the same churn construction frame by frame (trains of")
+	t.AddNote("16) — the calendar-queue engine's fidelity anchors; fault columns from the fabric's accounting")
 	return t, nil
 }

@@ -170,6 +170,9 @@ func TestE4Shape(t *testing.T) {
 }
 
 func TestE5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("σ* sweep takes seconds of packet-engine work; skipped in -short (race) mode")
+	}
 	tab, err := E5(At(Quick))
 	if err != nil {
 		t.Fatal(err)
@@ -329,6 +332,9 @@ func TestA3Shape(t *testing.T) {
 }
 
 func TestA2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bypass ablation takes seconds of packet-engine work; skipped in -short (race) mode")
+	}
 	tab, err := A2(At(Quick))
 	if err != nil {
 		t.Fatal(err)

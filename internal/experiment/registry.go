@@ -59,6 +59,7 @@ func List() []string {
 // IDs returns all experiment IDs in order.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
+	//det:ordered keys are collected then sorted before any ordered use
 	for id := range registry {
 		ids = append(ids, id)
 	}

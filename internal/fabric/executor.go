@@ -301,6 +301,7 @@ func (f *Fabric) applyBypassOff(cmd plp.Command) error {
 		return err
 	}
 	delete(f.links, e.Link.ID)
+	//det:ordered pure filter-delete: every entry matching the owner pair is removed, no per-entry effect escapes the map
 	for lane, owner := range f.claimed {
 		if owner == [2]topo.NodeID{a, b} {
 			delete(f.claimed, lane)

@@ -261,10 +261,14 @@ func (f *Fabric) SetFrameTrains(n int) {
 }
 
 // samplePower re-prices the whole fabric and records it in the budget.
+// Links are summed in the graph's stable edge order, not map order:
+// float64 addition is order-sensitive, and f.links mirrors g.Edges()
+// exactly (construction edges at build time, express edges added and
+// removed in lockstep), so the draw is byte-stable across runs.
 func (f *Fabric) samplePower() {
 	var w float64
-	for _, ls := range f.links {
-		w += f.pmodel.LinkPower(ls.edge.Link)
+	for _, e := range f.g.Edges() {
+		w += f.pmodel.LinkPower(e.Link)
 	}
 	for node := range f.switches {
 		active := 0

@@ -165,6 +165,7 @@ func (f *Fabric) starvedSince(id host.FlowID) bool {
 // their episode is already open.
 func (f *Fabric) flowsCrossing(downed map[*topo.Edge]bool) []*host.Flow {
 	ids := make([]host.FlowID, 0, len(f.active))
+	//det:ordered keys are collected then sorted before any ordered use
 	for id := range f.active {
 		ids = append(ids, id)
 	}
@@ -194,6 +195,7 @@ func (f *Fabric) flowsCrossing(downed map[*topo.Edge]bool) []*host.Flow {
 // flow never returned to service.
 func (f *Fabric) closeHealedStarvation(now sim.Time) {
 	ids := make([]host.FlowID, 0, len(f.starved))
+	//det:ordered keys are collected then sorted before any ordered use
 	for id := range f.starved {
 		ids = append(ids, id)
 	}

@@ -15,6 +15,7 @@ import (
 func (f *Fabric) Reports() []ringctl.LinkReport {
 	now := f.eng.Now()
 	ids := make([]int, 0, len(f.links))
+	//det:ordered keys are collected then sorted before any ordered use
 	for id := range f.links {
 		ids = append(ids, int(id))
 	}
@@ -71,6 +72,7 @@ func (f *Fabric) Reports() []ringctl.LinkReport {
 func (f *Fabric) TopFlows(k int) []ringctl.FlowSnapshot {
 	now := f.eng.Now()
 	snaps := make([]ringctl.FlowSnapshot, 0, len(f.active))
+	//det:ordered snapshots are fully ordered by (BytesRemaining, ID) below before truncation
 	for _, fl := range f.active {
 		elapsed := now.Sub(fl.Started()).Seconds()
 		rate := 0.0

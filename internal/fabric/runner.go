@@ -76,6 +76,7 @@ func (f *Fabric) RunUntilDone(limit sim.Time) error {
 	}
 	if n := len(f.active); n > 0 {
 		failed := 0
+		//det:ordered commutative integer count: the loop only increments a counter
 		for _, fl := range f.active {
 			if fl.Failed() {
 				failed++

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestDetlintClean runs the whole determinism suite over every package in
+// the module, in-process — the same gate `go run ./cmd/detlint ./...`
+// applies in CI, for plain `go test` users. Any unannotated finding is a
+// failure; the fix is to make the site deterministic or to annotate it
+// with a written //det:<key> justification.
+func TestDetlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module plus std imports from source; the dedicated CI detlint step covers short/race runs")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Check(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d unannotated determinism finding(s); see internal/lint for the rules and the //det: annotation format", len(findings))
+	}
+}
+
+// TestDetScope pins the maprange scoping: the deterministic replay path
+// is opt-in by package list, and the list must resolve against this
+// module's real layout.
+func TestDetScope(t *testing.T) {
+	cases := []struct {
+		pkg string
+		in  bool
+	}{
+		{"rackfab", true},
+		{"rackfab/internal/fluid", true},
+		{"rackfab/internal/sim", true},
+		{"rackfab/internal/fabric", true},
+		{"rackfab/internal/faults", true},
+		{"rackfab/internal/route", true},
+		{"rackfab/internal/experiment", true},
+		{"rackfab/internal/telemetry", false},
+		{"rackfab/internal/fec", false},
+		{"rackfab/cmd/detlint", false},
+	}
+	for _, c := range cases {
+		if got := inDetScope("rackfab", c.pkg); got != c.in {
+			t.Errorf("inDetScope(%q) = %v, want %v", c.pkg, got, c.in)
+		}
+	}
+}
+
+// TestDetPackagesExist keeps the scope list honest: every listed package
+// must actually load from the module, so a future rename cannot silently
+// drop a package out of maprange coverage.
+func TestDetPackagesExist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the listed packages from source")
+	}
+	l := testLoader(t)
+	for _, rel := range DetPackages {
+		path := l.Module()
+		dir := l.Root()
+		if rel != "" {
+			path += "/" + rel
+			dir = filepath.Join(dir, filepath.FromSlash(rel))
+		}
+		if _, err := l.LoadDir(dir, path); err != nil {
+			t.Errorf("DetPackages entry %q does not load: %v", rel, err)
+		}
+	}
+}

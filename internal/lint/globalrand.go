@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags the process-global math/rand source in production
+// code: package-level functions like rand.Intn or rand.Shuffle draw from
+// a shared, auto-seeded stream, so two runs — or two goroutines — never
+// replay the same bytes. All simulation randomness must flow through
+// internal/sim/rng.go or an explicitly seeded rand.New(rand.NewSource(seed)):
+// the constructors (New, NewSource, NewZipf) are therefore allowed, every
+// other package-level function of math/rand (and math/rand/v2, whose
+// top-level functions are unseedable by design) is flagged. A site that
+// genuinely wants irreproducible randomness carries:
+//
+//	//det:rand <why reproducibility is not required here>
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flags global math/rand functions outside tests; randomness must come from an explicit seed",
+	Run: func(pass *Pass) error {
+		allowed := map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil || allowed[fn.Name()] {
+					return true
+				}
+				if pass.annotated(sel.Pos(), "rand") {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "rand.%s draws from the process-global source; use sim.NewRNG or rand.New(rand.NewSource(seed)), or annotate //det:rand with a reason", fn.Name())
+				return true
+			})
+		}
+		return nil
+	},
+}

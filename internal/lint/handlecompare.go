@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// simEventPath is the package whose Event type is the generation-stamped
+// handle (kept as a variable so the analysistest fixtures exercise the
+// same code path against the real package).
+const simEventPath = "rackfab/internal/sim"
+
+// HandleCompare flags identity comparisons of sim.Event handle values:
+// `==`/`!=` between two handles, and maps keyed by them. An Event is a
+// (storage pointer, generation) pair over pooled storage — two handles
+// can share storage across generations, a stale handle never equals the
+// zero handle, and equality silently changes meaning when the free list
+// recycles. Identity questions belong on the accessors (Canceled, the
+// zero-value staleness contract), not on the struct bits. A comparison
+// that really is generation-aware carries:
+//
+//	//det:handle <why raw identity is correct here>
+var HandleCompare = &Analyzer{
+	Name: "handleCompare",
+	Doc:  "flags == / != and map-key use of sim.Event handles",
+	Run: func(pass *Pass) error {
+		isEvent := func(e ast.Expr) bool {
+			t := pass.Info.TypeOf(e)
+			return t != nil && namedType(t, simEventPath, "Event")
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if !isEvent(n.X) && !isEvent(n.Y) {
+						return true
+					}
+					if pass.annotated(n.Pos(), "handle") {
+						return true
+					}
+					pass.Reportf(n.OpPos, "%s on sim.Event handles compares pooled storage identity across generations; use the handle's accessors, or annotate //det:handle with a reason", n.Op)
+				case *ast.MapType:
+					t := pass.Info.TypeOf(n.Key)
+					if t == nil || !namedType(t, simEventPath, "Event") {
+						return true
+					}
+					if pass.annotated(n.Pos(), "handle") {
+						return true
+					}
+					pass.Reportf(n.Key.Pos(), "map keyed by sim.Event hashes pooled storage identity; key by a stable ID instead, or annotate //det:handle with a reason")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}

@@ -1,0 +1,24 @@
+package globalrandtest
+
+import "math/rand"
+
+// draw uses the process-global, auto-seeded stream.
+func draw(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the process-global source`
+}
+
+// shuffle does too, through a different entry point.
+func shuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+// seeded is the sanctioned shape: an explicit seed through the allowed
+// constructors, with draws as methods on the private stream.
+func seeded(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// waived documents a site that genuinely wants irreproducibility.
+func waived() float64 {
+	return rand.Float64() //det:rand jitter for an operator-facing backoff, never replayed
+}

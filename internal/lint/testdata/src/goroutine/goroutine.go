@@ -1,0 +1,22 @@
+package goroutinetest
+
+// spawn starts an ad-hoc goroutine outside the approved surfaces.
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement outside approved concurrency surfaces`
+}
+
+// spawnNamed flags named-function goroutines the same way.
+func spawnNamed(ch chan int) {
+	go send(ch) // want `go statement outside approved concurrency surfaces`
+}
+
+func send(ch chan int) { ch <- 2 }
+
+// waived carries a per-site justification.
+func waived(ch chan int) {
+	//det:goroutine fire-and-forget notifier; nothing it touches rejoins simulation state
+	go send(ch)
+}
+
+// sequential code is never flagged.
+func sequential(ch chan int) { ch <- 3 }

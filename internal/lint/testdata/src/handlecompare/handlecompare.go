@@ -1,0 +1,38 @@
+package handlecomparetest
+
+import "rackfab/internal/sim"
+
+// equal compares pooled-storage identity across generations.
+func equal(a, b sim.Event) bool {
+	return a == b // want `== on sim\.Event handles`
+}
+
+// notEqual is the same hazard through the other operator.
+func notEqual(a, b sim.Event) bool {
+	return a != b // want `!= on sim\.Event handles`
+}
+
+// zeroCompare is misleading too: a stale handle never equals the zero one.
+func zeroCompare(a sim.Event) bool {
+	return a == (sim.Event{}) // want `== on sim\.Event handles`
+}
+
+// keyed hashes handle identity.
+type keyed struct {
+	seen map[sim.Event]bool // want `map keyed by sim\.Event`
+}
+
+// build flags the result type and the literal type in make.
+func build() map[sim.Event]bool { // want `map keyed by sim\.Event`
+	return make(map[sim.Event]bool) // want `map keyed by sim\.Event`
+}
+
+// waived is generation-aware by construction.
+func waived(a, b sim.Event) bool {
+	return a == b //det:handle both handles issued for the same scheduling call this tick
+}
+
+// accessors are the sanctioned identity surface.
+func accessors(a sim.Event) bool {
+	return a.Canceled() || a.Label() == ""
+}

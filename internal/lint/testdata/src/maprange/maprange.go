@@ -1,0 +1,58 @@
+package maprangetest
+
+import "sort"
+
+// sum iterates a map directly: float accumulation in randomized order.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+// keysUnsorted leaks map order into a slice.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is the sanctioned collect-then-sort shape, waived per site.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//det:ordered keys are collected then sorted before any ordered use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// trailing shows the same waiver as an end-of-line annotation.
+func trailing(m map[string]bool) int {
+	n := 0
+	for range m { //det:ordered commutative integer count
+		n++
+	}
+	return n
+}
+
+// bare annotations without a justification are themselves findings and
+// do not suppress silently.
+func bare(m map[string]int) {
+	/* want `needs a written justification` */ //det:ordered
+	for range m {
+	}
+}
+
+// slices are not maps: never flagged.
+func slices(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

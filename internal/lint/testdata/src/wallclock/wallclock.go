@@ -1,0 +1,29 @@
+package wallclocktest
+
+import "time"
+
+// stamp reads the wall clock directly.
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// elapsed reads it through Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// timer reads it through After.
+func timer(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time\.After reads the wall clock`
+}
+
+// masked is the sanctioned shape: operator-facing wall reporting whose
+// column is Volatile-masked out of fingerprints.
+func masked() time.Time {
+	return time.Now() //det:wallclock feeds a Volatile-masked wall column only
+}
+
+// arithmetic on time values never touches the clock: not flagged.
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}

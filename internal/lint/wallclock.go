@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock flags reads of the host's wall clock — time.Now, time.Since,
+// time.After — in production code. Simulated time is the only clock a
+// deterministic replay may observe; a wall-clock read either leaks
+// nondeterminism into output or silently couples results to machine
+// speed. The one legitimate shape is operator-facing wall-time reporting
+// whose column is masked out of fingerprints (Table's Volatile columns),
+// and such a site carries:
+//
+//	//det:wallclock <why this read cannot reach a fingerprint>
+//
+// Test files are out of scope by construction (the loader never parses
+// them): benchmarks and timeouts legitimately use the wall clock.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now/time.Since/time.After outside tests unless //det:wallclock justifies it",
+	Run: func(pass *Pass) error {
+		banned := map[string]bool{"Now": true, "Since": true, "After": true}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if obj == nil || !banned[sel.Sel.Name] || !isPkgFunc(obj, "time", sel.Sel.Name) {
+					return true
+				}
+				if pass.annotated(sel.Pos(), "wallclock") {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; use the simulation clock, or annotate //det:wallclock for Volatile-masked reporting", sel.Sel.Name)
+				return true
+			})
+		}
+		return nil
+	},
+}
