@@ -102,6 +102,34 @@ func BenchmarkPacketEngine(b *testing.B) {
 	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
 }
 
+// BenchmarkIncast64 prices the packet datapath under its worst-case
+// traffic: the e12 quick-scale incast — 16 sources bursting 128 KiB each
+// into one node of an 8×8 grid over VLB — where every frame of the fan-in
+// funnels through the receiver's last hop. This is the arrival pattern
+// that stresses the VOQ/train machinery hardest per delivered byte, so it
+// is the gated engine benchmark for the SLO workload layer
+// (BENCH_engine.json).
+func BenchmarkIncast64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cluster, err := rackfab.New(rackfab.Config{
+			Topology: rackfab.Grid, Width: 8, Height: 8, Seed: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cluster.SetValiantRouting(true)
+		if _, err := cluster.Inject(rackfab.IncastTraffic(cluster, 32, 16, 128<<10)); err != nil {
+			b.Fatal(err)
+		}
+		if err := cluster.RunUntilDone(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if cluster.Report().FlowsCompleted != 16 {
+			b.Fatal("incomplete incast")
+		}
+	}
+}
+
 // BenchmarkFluidEngine measures the flow-level engine on a 256-node torus.
 func BenchmarkFluidEngine(b *testing.B) {
 	g := topo.NewTorus(16, 16, topo.Options{})

@@ -73,7 +73,8 @@ func main() {
 		return
 	case "all":
 		for _, id := range experiment.IDs() {
-			if eng, _ := experiment.EngineOf(id); *engineFlag != "" && eng != *engineFlag {
+			// "both"-engine experiments survive either filter.
+			if eng, _ := experiment.EngineOf(id); *engineFlag != "" && eng != *engineFlag && eng != "both" {
 				continue // -engine filters the sweep to one backend
 			}
 			if err := runOne(id, cfg, *csvPath, *plotFlag); err != nil {
@@ -84,7 +85,7 @@ func main() {
 		}
 		return
 	default:
-		if eng, ok := experiment.EngineOf(arg); ok && *engineFlag != "" && eng != *engineFlag {
+		if eng, ok := experiment.EngineOf(arg); ok && *engineFlag != "" && eng != *engineFlag && eng != "both" {
 			fmt.Fprintf(os.Stderr, "rackfab: %s runs on the %s engine, not %s (see `rackfab list`)\n", arg, eng, *engineFlag)
 			os.Exit(2)
 		}

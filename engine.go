@@ -54,8 +54,10 @@ type backend interface {
 	inject(specs []FlowSpec) ([]*Flow, error)
 	runFor(d time.Duration) error
 	runUntilDone(limit time.Duration) error
+	runPhases(phases [][]FlowSpec, limit time.Duration) ([][]*Flow, error)
 	now() time.Duration
 	applyFaults(s *FaultSchedule) error
+	flows() []*Flow
 	fill(r *Report)
 }
 
@@ -142,9 +144,10 @@ func (f *Flow) window() (start, end sim.Time, err error) {
 // packetBackend drives the cycle-accurate fabric (and, when enabled, the
 // Closed Ring Control).
 type packetBackend struct {
-	eng *sim.Engine
-	fab *fabric.Fabric
-	ctl *ringctl.Controller
+	eng     *sim.Engine
+	fab     *fabric.Fabric
+	ctl     *ringctl.Controller
+	handles []*Flow
 }
 
 func (b *packetBackend) inject(specs []FlowSpec) ([]*Flow, error) {
@@ -165,12 +168,42 @@ func (b *packetBackend) inject(specs []FlowSpec) ([]*Flow, error) {
 	for i, fl := range inner {
 		flows[i] = &Flow{spec: specs[i], pk: fl}
 	}
+	b.handles = append(b.handles, flows...)
 	return flows, nil
 }
 
 func (b *packetBackend) runFor(d time.Duration) error {
 	return b.fab.RunFor(simDur(d))
 }
+
+// runPhases drives barrier-synchronized phases: each phase injects relative
+// to the instant the previous phase drained (RunUntilDone leaves the clock
+// at the last completion event) and runs to completion under the shared
+// absolute limit. This is the packet twin of fluid.NewPhasedSession.
+func (b *packetBackend) runPhases(phases [][]FlowSpec, limit time.Duration) ([][]*Flow, error) {
+	out := make([][]*Flow, 0, len(phases))
+	for i, ph := range phases {
+		if len(ph) == 0 {
+			return nil, fmt.Errorf("rackfab: phase %d is empty", i)
+		}
+		flows, err := b.inject(ph)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.runUntilDone(limit); err != nil {
+			return nil, fmt.Errorf("rackfab: phase %d: %w", i, err)
+		}
+		for _, f := range flows {
+			if !f.Done() {
+				return nil, fmt.Errorf("rackfab: phase %d flow %d→%d unfinished (failed or limit hit)", i, f.spec.Src, f.spec.Dst)
+			}
+		}
+		out = append(out, flows)
+	}
+	return out, nil
+}
+
+func (b *packetBackend) flows() []*Flow { return b.handles }
 
 func (b *packetBackend) runUntilDone(limit time.Duration) error {
 	return b.fab.RunUntilDone(sim.Time(simDur(limit)))
@@ -303,6 +336,49 @@ func (b *fluidBackend) runUntilDone(limit time.Duration) error {
 	}
 	return nil
 }
+
+// runPhases lowers barrier-synchronized phases onto a phased fluid session.
+// Like ordinary fluid injection the spec set must be closed up front, so
+// phases cannot mix with prior Inject calls or an already-started run.
+func (b *fluidBackend) runPhases(phases [][]FlowSpec, limit time.Duration) ([][]*Flow, error) {
+	if b.sess != nil {
+		return nil, fmt.Errorf("rackfab: the fluid engine accepts RunPhases only before the first Run call")
+	}
+	if len(b.pending) > 0 {
+		return nil, fmt.Errorf("rackfab: the fluid engine cannot mix RunPhases with pending Inject specs")
+	}
+	wl := make([][]workload.FlowSpec, len(phases))
+	out := make([][]*Flow, len(phases))
+	for p, ph := range phases {
+		wl[p] = make([]workload.FlowSpec, len(ph))
+		out[p] = make([]*Flow, len(ph))
+		for i, s := range ph {
+			wl[p][i] = workload.FlowSpec{
+				Src: s.Src, Dst: s.Dst, Bytes: s.Bytes,
+				At:    sim.Time(simDur(s.At)),
+				Label: s.Label,
+			}
+			out[p][i] = &Flow{spec: s, fb: b, id: -1}
+			b.handles = append(b.handles, out[p][i])
+		}
+	}
+	sess, err := fluid.NewPhasedSession(fluid.Config{Graph: b.graph, Faults: b.sched}, wl)
+	if err != nil {
+		b.handles = b.handles[:0]
+		return nil, err
+	}
+	b.sess = sess
+	order := sess.Order()
+	for i, f := range b.handles {
+		f.id = order[i]
+	}
+	if err := b.runUntilDone(limit); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (b *fluidBackend) flows() []*Flow { return b.handles }
 
 func (b *fluidBackend) now() time.Duration {
 	if b.sess == nil {

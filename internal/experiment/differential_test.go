@@ -7,6 +7,7 @@ import (
 	"rackfab/internal/faults"
 	"rackfab/internal/fluid"
 	"rackfab/internal/sim"
+	"rackfab/internal/telemetry"
 	"rackfab/internal/topo"
 	"rackfab/internal/workload"
 )
@@ -82,6 +83,82 @@ func TestFluidPacketRankOrder(t *testing.T) {
 			t.Fatalf("completion rank order diverged at position %d:\nfluid:  %v\npacket: %v",
 				i, fluidOrder, packetOrder)
 		}
+	}
+}
+
+// TestFluidPacketDistributionAgreement1024 lifts the differential gate from
+// rank order to distribution shape at real scale: the same 1024-flow
+// permutation (64 KB each) on the same 32×32 grid runs through both
+// engines, and the FCT CDFs must agree quantile-wise within a fixed band.
+// The engines disagree on absolute time by design — the packet datapath
+// pipelines frames across hops while the fluid solver holds each flow to
+// its max-min share end to end, so packet FCTs land at roughly a third of
+// fluid's under this contention. What must hold is that the gap is the
+// SAME bounded factor at every quantile: the two CDFs are parallel, so
+// either engine predicts the other's tail by a constant rescale. Both
+// engines are deterministic, so the bands are tight around measured
+// ratios (0.34–0.46 across p10–p99), not statistical allowances.
+func TestFluidPacketDistributionAgreement1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node two-engine differential is several seconds; skipped under -short")
+	}
+	const side = 32
+	specs := workload.Permutation(sim.NewRNG(42), side*side, workload.Fixed(64e3))
+
+	g1 := topo.NewGrid(side, side, topo.Options{})
+	fl, err := fluid.Run(fluid.Config{Graph: g1}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fl.Flows) != len(specs) {
+		t.Fatalf("fluid completed %d of %d flows", len(fl.Flows), len(specs))
+	}
+	fluidFCT := make([]float64, 0, len(fl.Flows))
+	for _, fr := range fl.Flows {
+		fluidFCT = append(fluidFCT, float64(fr.FCT))
+	}
+	sort.Float64s(fluidFCT)
+
+	g2 := topo.NewGrid(side, side, topo.Options{})
+	_, f, err := buildFabric(g2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := f.InjectFlows(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunUntilDone(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	packetFCT := make([]float64, 0, len(flows))
+	for i, flw := range flows {
+		if !flw.Done() {
+			t.Fatalf("packet engine left flow %d unfinished", i)
+		}
+		packetFCT = append(packetFCT, float64(flw.FCT()))
+	}
+	sort.Float64s(packetFCT)
+
+	const loRatio, hiRatio = 0.30, 0.55 // packet/fluid band, every quantile
+	const maxSpread = 1.45              // worst/best quantile ratio: CDFs stay parallel
+	minR, maxR := hiRatio, loRatio
+	for _, pct := range []int{10, 25, 50, 75, 90, 99} {
+		i := telemetry.NearestRank(len(fluidFCT), pct)
+		r := packetFCT[i] / fluidFCT[i]
+		if r < loRatio || r > hiRatio {
+			t.Errorf("p%d packet/fluid FCT ratio %.3f outside [%.2f, %.2f] (fluid %.0fus, packet %.0fus)",
+				pct, r, loRatio, hiRatio, fluidFCT[i]/1e3, packetFCT[i]/1e3)
+		}
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if spread := maxR / minR; spread > maxSpread {
+		t.Errorf("quantile ratio spread %.3f exceeds %.2f; the engine gap is not a constant rescale", spread, maxSpread)
 	}
 }
 

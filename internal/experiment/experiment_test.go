@@ -54,8 +54,8 @@ func TestTableRowMismatchPanics(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(IDs()) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(IDs()))
+	if len(IDs()) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(IDs()))
 	}
 	if _, ok := Lookup("fig1"); !ok {
 		t.Fatal("fig1 missing")
@@ -63,7 +63,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := Lookup("bogus"); ok {
 		t.Fatal("bogus found")
 	}
-	if len(List()) != 13 {
+	if len(List()) != 14 {
 		t.Fatal("List size")
 	}
 }

@@ -11,8 +11,8 @@ type Runner func(Config) (*Table, error)
 // registry maps experiment IDs (DESIGN.md per-experiment index) to
 // runners. Engine names the simulation backend the experiment's trials run
 // on — "packet" (cycle-accurate datapath), "fluid" (flow-level solver; E8
-// additionally cross-checks one packet trial) — so the CLI's -engine flag
-// can select and validate.
+// additionally cross-checks one packet trial), or "both" (trials on each
+// engine side by side) — so the CLI's -engine flag can select and validate.
 var registry = map[string]struct {
 	Run    Runner
 	Desc   string
@@ -28,6 +28,7 @@ var registry = map[string]struct {
 	"e8":   {E8, "scale sweep 64→4096 nodes on the fluid engine", "fluid"},
 	"e9":   {E9, "adaptive FEC on a bursty (Gilbert–Elliott) channel", "packet"},
 	"e10":  {E10, "churn: degradation + recovery under Poisson link flaps and node loss", "fluid"},
+	"e12":  {E12, "SLO attainment: incast admission modes + phased all-reduce (PL2-style)", "both"},
 	"a1":   {A1, "ablation: CRC price-weight terms under hotspot load", "packet"},
 	"a2":   {A2, "ablation: bypass express channels for elephants", "packet"},
 	"a3":   {A3, "ablation: shortest-path vs VLB vs CRC adaptive routing", "packet"},

@@ -117,7 +117,11 @@ func (f *Fabric) transmit(node, port int, fr *switching.Frame) {
 	ls.busyPs[dir] += int64(serialize)
 
 	// VOQ delay observed by frames leaving on this link.
-	ls.qDelay.Observe(float64(f.eng.Now().Sub(fr.Injected)) / float64(1+fr.Hops))
+	sojourn := f.eng.Now().Sub(fr.Injected)
+	ls.qDelay.Observe(float64(sojourn) / float64(1+fr.Hops))
+	if perHop := sojourn / sim.Duration(1+fr.Hops); perHop > ls.qPeak {
+		ls.qPeak = perHop
+	}
 
 	// Arrival at the peer: cut-through forwards once the header has
 	// landed; store-and-forward waits for the tail. Express channels haul

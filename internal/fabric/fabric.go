@@ -77,8 +77,11 @@ type linkState struct {
 	// A→B, 1: B→A) since windowStart, for utilization reports.
 	busyPs      [2]int64
 	windowStart sim.Time
-	// qDelay smooths the VOQ delay of frames leaving onto this link.
+	// qDelay smooths the VOQ delay of frames leaving onto this link;
+	// qPeak keeps the worst single observation — the receiver-queueing
+	// bound the token-pacing differential asserts on.
 	qDelay *telemetry.EWMA
+	qPeak  sim.Duration
 	// prevBits/prevErrs snapshot the lane counters at the last report so
 	// MeasuredBER is windowed — a receiver reports the current channel,
 	// not its lifetime history (otherwise the CRC could never observe a
@@ -215,6 +218,19 @@ func (f *Fabric) Graph() *topo.Graph { return f.g }
 
 // Stats returns the fabric-wide instruments.
 func (f *Fabric) Stats() *Stats { return &f.stats }
+
+// PeakQueueDelay returns the worst per-hop frame sojourn observed on any
+// link so far — the receiver-queueing bound incast experiments compare
+// across admission schemes. Scanned in Edges() order, byte-stable.
+func (f *Fabric) PeakQueueDelay() sim.Duration {
+	var peak sim.Duration
+	for _, e := range f.g.Edges() {
+		if ls := f.links[e.Link.ID]; ls != nil && ls.qPeak > peak {
+			peak = ls.qPeak
+		}
+	}
+	return peak
+}
 
 // Hosts returns the per-node hosts.
 func (f *Fabric) Hosts() []*host.Host { return f.hosts }

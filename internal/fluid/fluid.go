@@ -27,6 +27,7 @@ import (
 
 	"rackfab/internal/faults"
 	"rackfab/internal/sim"
+	"rackfab/internal/telemetry"
 	"rackfab/internal/topo"
 	"rackfab/internal/workload"
 )
@@ -219,15 +220,10 @@ func summarize(res *Result) {
 
 // NearestRank returns the 0-based index of the pct-th percentile sample
 // under the nearest-rank convention: the ceil(pct/100·n)-th smallest of n
-// sorted samples. This is the same rank telemetry.Histogram.Quantile
-// resolves, so fluid tables, histogram summaries, and the public façade's
-// report agree at every n (n=12 previously disagreed: (n-1)·99/100 indexes
-// the 11th sample where nearest-rank demands the 12th). Exported as the
-// ONE definition of the convention — do not re-derive it per caller.
+// sorted samples. The convention has exactly one definition, owned by
+// telemetry.NearestRank (where Histogram.Quantile and the SLO attainment
+// computation resolve the same rank); this re-export only spares fluid
+// callers the extra import — do not re-derive the arithmetic per caller.
 func NearestRank(n, pct int) int {
-	idx := (n*pct + 99) / 100 // ceil(n·pct/100)
-	if idx < 1 {
-		idx = 1
-	}
-	return idx - 1
+	return telemetry.NearestRank(n, pct)
 }

@@ -32,6 +32,17 @@ type Session struct {
 	arrived    int
 	faulted    int
 
+	// Phase gating (NewPhasedSession). phaseEnd[p] is the exclusive flow-ID
+	// bound of phase p (cumulative counts); nil means unphased. Flows of
+	// phase p+1 are held until every flow with ID < phaseEnd[p] has arrived
+	// AND completed; the instant the last one drains becomes phaseBase, and
+	// phase-relative spec.At values anchor there. IDs are phase-major
+	// (canonical order within each phase), so the arrival cursor never
+	// crosses a phase boundary while the gate is shut.
+	phaseEnd  []int
+	phase     int
+	phaseBase sim.Time
+
 	// status caches each flow's completion record by flow ID — Result
 	// keeps completion order, this keeps handle order.
 	status []FlowStatus
@@ -55,10 +66,57 @@ type FlowStatus struct {
 // and lowers the fault schedule, without running anything: the clock sits
 // at zero until the first Advance.
 func NewSession(cfg Config, specs []workload.FlowSpec) (*Session, error) {
+	order := canonicalOrder(specs)
+	sorted := make([]workload.FlowSpec, len(specs))
+	for i, s := range specs {
+		sorted[order[i]] = s
+	}
+	return newSession(cfg, sorted, order, nil)
+}
+
+// NewPhasedSession builds a Session over barrier-synchronized phases: flows
+// of phase p+1 are released only once every flow of phase p has completed,
+// and each spec's At is relative to its phase's release instant — the
+// bulk-synchronous shape of collective workloads (workload.RingAllReduce
+// and friends emit exactly this [][]FlowSpec form). Flow IDs are
+// phase-major with canonical order inside each phase, so Order() flattens
+// phases by input position and the whole run stays a pure function of the
+// per-phase spec multisets. A single-phase call is identical to NewSession.
+func NewPhasedSession(cfg Config, phases [][]workload.FlowSpec) (*Session, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("fluid: phased session needs at least one phase")
+	}
+	var sorted []workload.FlowSpec
+	var order []int
+	phaseEnd := make([]int, 0, len(phases))
+	base := 0
+	for pi, ph := range phases {
+		if len(ph) == 0 {
+			return nil, fmt.Errorf("fluid: phase %d is empty", pi)
+		}
+		po := canonicalOrder(ph)
+		seg := make([]workload.FlowSpec, len(ph))
+		for i, s := range ph {
+			seg[po[i]] = s
+		}
+		sorted = append(sorted, seg...)
+		for _, id := range po {
+			order = append(order, base+id)
+		}
+		base += len(ph)
+		phaseEnd = append(phaseEnd, base)
+	}
+	return newSession(cfg, sorted, order, phaseEnd)
+}
+
+// newSession is the shared constructor: sorted is already in flow-ID order
+// (canonical, phase-major when phaseEnd is non-nil) and order maps input
+// positions to those IDs.
+func newSession(cfg Config, sorted []workload.FlowSpec, order []int, phaseEnd []int) (*Session, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("fluid: config needs a graph")
 	}
-	if err := workload.ValidateSpecs(specs, cfg.Graph.NumNodes()); err != nil {
+	if err := workload.ValidateSpecs(sorted, cfg.Graph.NumNodes()); err != nil {
 		return nil, err
 	}
 	if cfg.PerHopLatency <= 0 {
@@ -70,11 +128,6 @@ func NewSession(cfg Config, specs []workload.FlowSpec) (*Session, error) {
 
 	en := newEngine(cfg.Graph, cfg.PerHopLatency)
 	en.cold = cfg.coldStart
-	order := canonicalOrder(specs)
-	sorted := make([]workload.FlowSpec, len(specs))
-	for i, s := range specs {
-		sorted[order[i]] = s
-	}
 	if err := en.addFlows(sorted); err != nil {
 		return nil, fmt.Errorf("fluid: routing: %w", err)
 	}
@@ -90,6 +143,7 @@ func NewSession(cfg Config, specs []workload.FlowSpec) (*Session, error) {
 		order:      order,
 		linkEvents: linkEvents,
 		status:     make([]FlowStatus, len(en.flows)),
+		phaseEnd:   phaseEnd,
 	}
 	if len(linkEvents) > 0 {
 		s.savedEdges = cfg.Graph.Edges()
@@ -158,10 +212,20 @@ func (s *Session) AdvanceUntilDone(until sim.Time) error {
 func (s *Session) advance(until sim.Time, idleForward bool) error {
 	en := s.en
 	for s.arrived < len(en.flows) || en.activeCount > 0 {
+		// Phase gate: when the current phase has fully arrived and drained,
+		// the next phase anchors at this very instant. Loop (not if): a
+		// degenerate schedule could drain several phases at one instant only
+		// if a later phase completed in zero time, which positive Bytes
+		// forbids — but the loop keeps the invariant local.
+		for s.phaseEnd != nil && s.phase+1 < len(s.phaseEnd) &&
+			s.arrived == s.phaseEnd[s.phase] && en.activeCount == 0 {
+			s.phase++
+			s.phaseBase = s.now
+		}
 		nextDone, doneID := en.nextDone()
 		nextArrival := sim.Forever
-		if s.arrived < len(en.flows) {
-			nextArrival = en.flows[s.arrived].spec.At
+		if s.arrived < len(en.flows) && (s.phaseEnd == nil || s.arrived < s.phaseEnd[s.phase]) {
+			nextArrival = s.phaseBase.Add(sim.Duration(en.flows[s.arrived].spec.At))
 			if nextArrival < s.now {
 				nextArrival = s.now
 			}

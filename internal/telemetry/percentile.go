@@ -1,0 +1,60 @@
+package telemetry
+
+import "sort"
+
+// NearestRank returns the 0-based index of the pct-th percentile sample
+// under the nearest-rank convention: the ceil(pct/100·n)-th smallest of n
+// sorted samples. This is the same rank Histogram.Quantile resolves, so
+// histogram summaries, fluid tables, and the public façade's report agree
+// at every n (n=12 previously disagreed: (n-1)·99/100 indexes the 11th
+// sample where nearest-rank demands the 12th). This is the ONE definition
+// of the convention — fluid.NearestRank delegates here, and no caller may
+// re-derive it.
+func NearestRank(n, pct int) int {
+	idx := (n*pct + 99) / 100 // ceil(n·pct/100)
+	if idx < 1 {
+		idx = 1
+	}
+	return idx - 1
+}
+
+// SLOSummary describes how a flow population met a completion-time SLO
+// expressed as a multiple of each flow's ideal (uncontended) FCT — the
+// PL2-style tail-predictability metric: what fraction of flows finished
+// within TargetX× their ideal, plus the stretch distribution behind it.
+type SLOSummary struct {
+	// TargetX is the SLO multiplier k: a flow attains the SLO when
+	// FCT ≤ k × ideal FCT.
+	TargetX float64
+	// Flows is the population size, Attained how many met the target.
+	Flows, Attained int64
+	// AttainPct is Attained over Flows as a percentage (0 when empty).
+	AttainPct float64
+	// P50Stretch, P99Stretch, MaxStretch summarize the stretch (FCT/ideal)
+	// distribution by nearest rank.
+	P50Stretch, P99Stretch, MaxStretch float64
+}
+
+// ComputeSLO summarizes per-flow stretch samples (FCT divided by ideal FCT,
+// ≥ 1 for any physical run) against the k×ideal target. The input is not
+// mutated; an empty population returns a zero summary with TargetX set.
+func ComputeSLO(stretches []float64, targetX float64) SLOSummary {
+	s := SLOSummary{TargetX: targetX}
+	n := len(stretches)
+	if n == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), stretches...)
+	sort.Float64s(sorted)
+	for _, v := range sorted {
+		if v <= targetX {
+			s.Attained++
+		}
+	}
+	s.Flows = int64(n)
+	s.AttainPct = 100 * float64(s.Attained) / float64(n)
+	s.P50Stretch = sorted[NearestRank(n, 50)]
+	s.P99Stretch = sorted[NearestRank(n, 99)]
+	s.MaxStretch = sorted[n-1]
+	return s
+}

@@ -138,6 +138,10 @@ type Config struct {
 	// construction; Cluster.ApplyFaults adds more later. Both engines
 	// consume the same schedule type.
 	Faults *FaultSchedule
+	// SLOTargetX sets the completion-time SLO multiplier k for Report's SLO
+	// section: a flow attains the SLO when its FCT is within k× its ideal
+	// (uncontended) FCT. 0 means the default of 4.
+	SLOTargetX float64
 }
 
 // Cluster is a running simulated rack. All traffic, run, fault, and report
@@ -310,6 +314,31 @@ func (c *Cluster) RunFor(d time.Duration) error { return c.be.runFor(d) }
 // simulated-time limit.
 func (c *Cluster) RunUntilDone(limit time.Duration) error {
 	return c.be.runUntilDone(limit)
+}
+
+// RunPhases executes barrier-synchronized phases to completion: each
+// phase's flows release only once every flow of the prior phase has
+// completed, with phase-relative At values anchored at the drain instant —
+// the bulk-synchronous shape collective workloads (RingAllReduceTraffic and
+// friends) emit. It returns per-phase flow handles. On the fluid engine the
+// phase set must be the whole workload (no prior Inject or Run calls);
+// limit caps total simulated time, as in RunUntilDone.
+func (c *Cluster) RunPhases(phases [][]FlowSpec, limit time.Duration) ([][]*Flow, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("rackfab: RunPhases needs at least one phase")
+	}
+	return c.be.runPhases(phases, limit)
+}
+
+// PeakQueueDelay reports the worst per-hop frame queueing delay any link
+// observed — the receiver-pressure bound incast studies compare across
+// admission schemes (token pacing vs open-loop VLB). Packet engine only:
+// the fluid engine has no queues.
+func (c *Cluster) PeakQueueDelay() (time.Duration, error) {
+	if c.pk == nil {
+		return 0, errPacketOnly("queue-delay telemetry")
+	}
+	return fromSim(c.pk.fab.PeakQueueDelay()), nil
 }
 
 // ApplyGridToTorus executes Figure 2's reconfiguration immediately (the

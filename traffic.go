@@ -80,6 +80,56 @@ func PermutationTraffic(c *Cluster, size int64) []FlowSpec {
 	return fromWorkload(workload.Permutation(rng, c.Nodes(), workload.Fixed(size)))
 }
 
+// RingAllReduceTraffic generates the ring all-reduce collective as
+// barrier-synchronized phases for RunPhases: 2·(N−1) ring rotations of
+// bytes/N chunks. The schedule is a pure function of the node count and
+// size — no randomness.
+func RingAllReduceTraffic(c *Cluster, bytes int64) ([][]FlowSpec, error) {
+	if c.Nodes() < 2 {
+		return nil, fmt.Errorf("rackfab: ring all-reduce needs ≥2 nodes")
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("rackfab: ring all-reduce needs positive bytes")
+	}
+	return fromPhases(workload.RingAllReduce(c.Nodes(), bytes)), nil
+}
+
+// HalvingDoublingTraffic generates the recursive-halving/doubling
+// all-reduce as phases for RunPhases: 2·log2(N) pairwise-exchange steps.
+// The cluster's node count must be a power of two.
+func HalvingDoublingTraffic(c *Cluster, bytes int64) ([][]FlowSpec, error) {
+	n := c.Nodes()
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("rackfab: halving-doubling all-reduce needs a power-of-two node count, got %d", n)
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("rackfab: halving-doubling all-reduce needs positive bytes")
+	}
+	return fromPhases(workload.HalvingDoubling(n, bytes)), nil
+}
+
+// AllToAllTraffic generates one synchronized all-to-all shuffle phase
+// (every node sends bytesPerPair to every other node, released together) in
+// RunPhases form — the deterministic, phase-shaped sibling of
+// ShuffleTraffic, which jitters arrivals for open-loop runs.
+func AllToAllTraffic(c *Cluster, bytesPerPair int64) ([][]FlowSpec, error) {
+	if c.Nodes() < 2 {
+		return nil, fmt.Errorf("rackfab: all-to-all needs ≥2 nodes")
+	}
+	if bytesPerPair <= 0 {
+		return nil, fmt.Errorf("rackfab: all-to-all needs a positive pair size")
+	}
+	return fromPhases([][]workload.FlowSpec{workload.AllToAll(c.Nodes(), bytesPerPair)}), nil
+}
+
+func fromPhases(phases [][]workload.FlowSpec) [][]FlowSpec {
+	out := make([][]FlowSpec, len(phases))
+	for p, ph := range phases {
+		out[p] = fromWorkload(ph)
+	}
+	return out
+}
+
 func fromWorkload(specs []workload.FlowSpec) []FlowSpec {
 	out := make([]FlowSpec, len(specs))
 	for i, s := range specs {
@@ -186,12 +236,16 @@ type Report struct {
 	// Solver reports the fluid solver's warm-start telemetry; zero-valued
 	// on the packet engine.
 	Solver SolverReport
+	// SLO summarizes completion-time SLO attainment over completed flows;
+	// zero-valued until a flow completes. Fills on both engines.
+	SLO SLOReport
 }
 
 // Report snapshots the cluster's instruments.
 func (c *Cluster) Report() Report {
 	var r Report
 	c.be.fill(&r)
+	c.fillSLO(&r)
 	return r
 }
 
@@ -222,6 +276,13 @@ func (r Report) String() string {
 		s += fmt.Sprintf(
 			"\nsolver: warm fills %.1f%% (%d warm, %d fallback, %d cold)",
 			r.Solver.WarmHitPct, r.Solver.WarmHits, r.Solver.WarmFallbacks, r.Solver.ColdFills,
+		)
+	}
+	if r.SLO.Flows > 0 {
+		s += fmt.Sprintf(
+			"\nslo: %.1f%% within %.0fx ideal (%d/%d flows), stretch p50 %.2f p99 %.2f max %.2f",
+			r.SLO.AttainPct, r.SLO.TargetX, r.SLO.Attained, r.SLO.Flows,
+			r.SLO.P50Stretch, r.SLO.P99Stretch, r.SLO.MaxStretch,
 		)
 	}
 	return s
