@@ -102,6 +102,32 @@ func BenchmarkPacketEngine(b *testing.B) {
 	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
 }
 
+// BenchmarkPacketEngineTraced is BenchmarkPacketEngine with the flight
+// recorder on at defaults (every flow sampled, per-transmission busy
+// accounting). The gap between the two is the tracing overhead the
+// README quotes; tracing off is a nil-pointer test on the hot path, so
+// BenchmarkPacketEngine itself is the zero-cost baseline.
+func BenchmarkPacketEngineTraced(b *testing.B) {
+	var frames int64
+	for i := 0; i < b.N; i++ {
+		cluster, err := rackfab.New(rackfab.Config{
+			Topology: rackfab.Grid, Width: 4, Height: 4, Seed: int64(i),
+			Trace: &rackfab.TraceConfig{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cluster.Inject(rackfab.ShuffleTraffic(cluster, 16<<10)); err != nil {
+			b.Fatal(err)
+		}
+		if err := cluster.RunUntilDone(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		frames += cluster.Report().FramesDelivered
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
 // BenchmarkIncast64 prices the packet datapath under its worst-case
 // traffic: the e12 quick-scale incast — 16 sources bursting 128 KiB each
 // into one node of an 8×8 grid over VLB — where every frame of the fan-in

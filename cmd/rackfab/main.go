@@ -13,8 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"rackfab"
 	"rackfab/internal/experiment"
 )
 
@@ -23,6 +26,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the table(s) as CSV to this path")
 	plotFlag := flag.Bool("plot", false, "render figures as ASCII charts where available")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials: 0 = one per CPU, 1 = sequential; results are identical at any setting")
+	tracePath := flag.String("trace", "", "write the flight-recorder trace to this path: Perfetto-loadable Chrome JSON, or the stable text form for .txt paths (facade-driven trials only; byte-identical at any -parallel)")
 	expFlag := flag.String("experiment", "", "experiment ID to run (equivalent to the positional form)")
 	engineFlag := flag.String("engine", "", "simulation backend: packet or fluid (sim: selects the cluster engine; experiments: validates/filters by the experiment's engine)")
 	flag.Usage = usage
@@ -49,6 +53,9 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiment.Config{Scale: scale, Parallel: *parallel}
+	if *tracePath != "" {
+		cfg.Trace = rackfab.NewTraceSet(rackfab.TraceConfig{})
+	}
 
 	// -experiment overrides the positional form; its sub-arguments are
 	// whatever positionals remain (all of them — none was consumed as the
@@ -61,7 +68,7 @@ func main() {
 	}
 	switch arg {
 	case "sim":
-		if err := runSim(rest, *engineFlag); err != nil {
+		if err := runSim(rest, *engineFlag, *tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "rackfab: sim: %v\n", err)
 			os.Exit(1)
 		}
@@ -83,6 +90,10 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if err := writeTraceSet(*tracePath, cfg.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "rackfab: trace: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	default:
 		if eng, ok := experiment.EngineOf(arg); ok && *engineFlag != "" && eng != *engineFlag && eng != "both" {
@@ -93,7 +104,42 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rackfab: %s: %v\n", arg, err)
 			os.Exit(1)
 		}
+		if err := writeTraceSet(*tracePath, cfg.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "rackfab: trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// writeTraceSet exports an experiment run's collected flight-recorder
+// traces (a no-op when -trace was not given). A .txt path selects the
+// stable text form — the bytes the determinism smoke compares — any other
+// path the Perfetto-loadable Chrome trace-event JSON. Experiments whose
+// trials run the internal fabric API leave the set empty; the file is
+// still written (an empty but valid document) so scripting stays simple.
+func writeTraceSet(path string, ts *rackfab.TraceSet) error {
+	if path == "" {
+		return nil
+	}
+	write := ts.WriteJSON
+	if strings.HasSuffix(path, ".txt") {
+		write = ts.WriteText
+	}
+	return writeTraceFile(path, ts.Len(), write)
+}
+
+// writeTraceFile creates path and streams one trace export into it.
+func writeTraceFile(path string, n int, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("trace: %d recorder(s) written to %s\n", n, path)
+	return f.Close()
 }
 
 func runOne(id string, cfg experiment.Config, csvPath string, plot bool) error {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rackfab"
@@ -14,8 +15,11 @@ import (
 // runSim implements `rackfab sim`: build an ad-hoc cluster from flags, run
 // a workload (generated or replayed from a trace), print the report.
 // engine is the top-level -engine selection ("" = packet); the subcommand's
-// own -engine flag overrides it.
-func runSim(args []string, engine string) error {
+// own -engine flag overrides it. flightTrace is the top-level -trace path:
+// when set, the cluster runs with the flight recorder on and exports there
+// (the subcommand's own -trace flag is the CSV *workload* replay input —
+// an unrelated, older surface).
+func runSim(args []string, engine, flightTrace string) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
 	var (
 		topoFlag   = fs.String("topo", "grid", "topology: grid, torus, line, ring")
@@ -71,6 +75,10 @@ func runSim(args []string, engine string) error {
 		}
 	}
 
+	var traceCfg *rackfab.TraceConfig
+	if flightTrace != "" {
+		traceCfg = &rackfab.TraceConfig{}
+	}
 	cluster, err := rackfab.New(rackfab.Config{
 		Topology:     rackfab.Topology(*topoFlag),
 		Width:        *width,
@@ -82,6 +90,7 @@ func runSim(args []string, engine string) error {
 		Seed:         *seed,
 		Engine:       eng,
 		Control:      rackfab.ControlConfig{Enabled: ctl},
+		Trace:        traceCfg,
 	})
 	if err != nil {
 		return err
@@ -170,6 +179,16 @@ func runSim(args []string, engine string) error {
 		fmt.Printf("\njob completion time: %v (simulated)\n", jct)
 	}
 	fmt.Println(cluster.Report())
+	if flightTrace != "" {
+		tr := cluster.Trace()
+		write := tr.WriteJSON
+		if strings.HasSuffix(flightTrace, ".txt") {
+			write = tr.WriteText
+		}
+		if err := writeTraceFile(flightTrace, 1, write); err != nil {
+			return err
+		}
+	}
 	if *decisions {
 		fmt.Println("\nCRC decision log:")
 		for _, line := range cluster.Decisions() {

@@ -13,6 +13,7 @@ import (
 	"rackfab/internal/ringctl"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 	"rackfab/internal/workload"
 )
 
@@ -280,6 +281,7 @@ type fluidBackend struct {
 	pending []workload.FlowSpec
 	handles []*Flow
 	sess    *fluid.Session
+	trace   *trace.Recorder // shared with Cluster; nil = tracing off
 }
 
 func (b *fluidBackend) inject(specs []FlowSpec) ([]*Flow, error) {
@@ -305,7 +307,7 @@ func (b *fluidBackend) ensure() error {
 	if b.sess != nil {
 		return nil
 	}
-	sess, err := fluid.NewSession(fluid.Config{Graph: b.graph, Faults: b.sched}, b.pending)
+	sess, err := fluid.NewSession(fluid.Config{Graph: b.graph, Faults: b.sched, Trace: b.trace}, b.pending)
 	if err != nil {
 		return err
 	}
@@ -362,7 +364,7 @@ func (b *fluidBackend) runPhases(phases [][]FlowSpec, limit time.Duration) ([][]
 			b.handles = append(b.handles, out[p][i])
 		}
 	}
-	sess, err := fluid.NewPhasedSession(fluid.Config{Graph: b.graph, Faults: b.sched}, wl)
+	sess, err := fluid.NewPhasedSession(fluid.Config{Graph: b.graph, Faults: b.sched, Trace: b.trace}, wl)
 	if err != nil {
 		b.handles = b.handles[:0]
 		return nil, err

@@ -34,10 +34,13 @@ const e12Seed = 12
 
 // e12Incast runs one 16→1 incast arm: fanIn sources burst 128 KiB each
 // into the fabric's center node under the given admission/routing mode.
-func e12Incast(engine rackfab.Engine, mode string, side int) (e12Cell, error) {
+// k is the SLO multiplier (0 = the default of 4); tr, when non-nil,
+// adopts the trial's flight-recorder trace under name.
+func e12Incast(engine rackfab.Engine, mode string, side int, k float64, tr *rackfab.TraceSet, name string) (e12Cell, error) {
 	c, err := rackfab.New(rackfab.Config{
 		Topology: rackfab.Grid, Width: side, Height: side,
 		Seed: e12Seed, Engine: engine,
+		SLOTargetX: k, Trace: tr.ClusterConfig(),
 	})
 	if err != nil {
 		return e12Cell{}, err
@@ -74,6 +77,7 @@ func e12Incast(engine rackfab.Engine, mode string, side int) (e12Cell, error) {
 	if rep.SLO.Flows != fanIn {
 		return e12Cell{}, fmt.Errorf("e12 incast %s/%s: SLO population %d, want %d", engine, mode, rep.SLO.Flows, fanIn)
 	}
+	tr.Add(name, c.Trace())
 	return e12Cell{
 		engine: string(engine), mode: "incast/" + mode,
 		flows: rep.SLO.Flows, attainPct: rep.SLO.AttainPct,
@@ -85,11 +89,12 @@ func e12Incast(engine rackfab.Engine, mode string, side int) (e12Cell, error) {
 // e12Collective runs the halving-doubling all-reduce through the phase
 // barrier, healthy or with Poisson link flaps derived from the healthy
 // JCT so the outages land mid-collective at every scale.
-func e12Collective(engine rackfab.Engine, side int, faulted bool) (e12Cell, error) {
+func e12Collective(engine rackfab.Engine, side int, faulted bool, tr *rackfab.TraceSet, name string) (e12Cell, error) {
 	run := func(sched *rackfab.FaultSchedule) (*rackfab.Cluster, time.Duration, error) {
 		c, err := rackfab.New(rackfab.Config{
 			Topology: rackfab.Grid, Width: side, Height: side,
 			Seed: e12Seed, Engine: engine, Faults: sched,
+			Trace: tr.ClusterConfig(),
 		})
 		if err != nil {
 			return nil, 0, err
@@ -128,6 +133,9 @@ func e12Collective(engine rackfab.Engine, side int, faulted bool) (e12Cell, erro
 		}
 		mode = "allreduce/flaps"
 	}
+	// Only the measured cluster's trace is adopted; the healthy probe run a
+	// faulted arm makes first is sizing-only and its recorder is dropped.
+	tr.Add(name, c.Trace())
 	rep := c.Report()
 	return e12Cell{
 		engine: string(engine), mode: mode,
@@ -148,20 +156,47 @@ func E12(cfg Config) (*Table, error) {
 	const packetCollectiveSide = 8
 	fluid, packet := rackfab.EngineFluid, rackfab.EnginePacket
 
+	tr := cfg.Trace
+
 	type arm struct {
-		name string
-		run  func() (e12Cell, error)
+		name  string
+		nodes int
+		run   func() (e12Cell, error)
+	}
+	incast := func(name string, eng rackfab.Engine, mode string, k float64) func() (e12Cell, error) {
+		return func() (e12Cell, error) { return e12Incast(eng, mode, side, k, tr, name) }
 	}
 	arms := []arm{
-		{"incast/packet/sp", func() (e12Cell, error) { return e12Incast(packet, "sp", side) }},
-		{"incast/packet/vlb", func() (e12Cell, error) { return e12Incast(packet, "vlb", side) }},
-		{"incast/packet/token", func() (e12Cell, error) { return e12Incast(packet, "token", side) }},
-		{"incast/fluid/fair", func() (e12Cell, error) { return e12Incast(fluid, "fair", side) }},
-		{"incast/fluid/token", func() (e12Cell, error) { return e12Incast(fluid, "token", side) }},
-		{"allreduce/fluid/healthy", func() (e12Cell, error) { return e12Collective(fluid, side, false) }},
-		{"allreduce/fluid/flaps", func() (e12Cell, error) { return e12Collective(fluid, side, true) }},
-		{"allreduce/packet/healthy", func() (e12Cell, error) { return e12Collective(packet, packetCollectiveSide, false) }},
-		{"allreduce/packet/flaps", func() (e12Cell, error) { return e12Collective(packet, packetCollectiveSide, true) }},
+		{"incast/packet/sp", side * side, incast("incast/packet/sp", packet, "sp", 0)},
+		{"incast/packet/vlb", side * side, incast("incast/packet/vlb", packet, "vlb", 0)},
+		{"incast/packet/token", side * side, incast("incast/packet/token", packet, "token", 0)},
+		{"incast/fluid/fair", side * side, incast("incast/fluid/fair", fluid, "fair", 0)},
+		{"incast/fluid/token", side * side, incast("incast/fluid/token", fluid, "token", 0)},
+		{"allreduce/fluid/healthy", side * side,
+			func() (e12Cell, error) { return e12Collective(fluid, side, false, tr, "allreduce/fluid/healthy") }},
+		{"allreduce/fluid/flaps", side * side,
+			func() (e12Cell, error) { return e12Collective(fluid, side, true, tr, "allreduce/fluid/flaps") }},
+		{"allreduce/packet/healthy", packetCollectiveSide * packetCollectiveSide,
+			func() (e12Cell, error) {
+				return e12Collective(packet, packetCollectiveSide, false, tr, "allreduce/packet/healthy")
+			}},
+		{"allreduce/packet/flaps", packetCollectiveSide * packetCollectiveSide,
+			func() (e12Cell, error) {
+				return e12Collective(packet, packetCollectiveSide, true, tr, "allreduce/packet/flaps")
+			}},
+	}
+	// SLO-tightness sweep: how attainment degrades as the target multiplier
+	// k shrinks, open-loop VLB vs the token path. Always the quick fabric —
+	// the question is the admission-scheme crossover, not scale, and the two
+	// curves separate fully at 64 nodes.
+	const kSweepSide = 8
+	for _, k := range []float64{1.5, 2, 4, 8} {
+		for _, mode := range []string{"vlb", "token"} {
+			k, mode := k, mode
+			name := fmt.Sprintf("slo-k/packet/%s/k%g", mode, k)
+			arms = append(arms, arm{name, kSweepSide * kSweepSide,
+				func() (e12Cell, error) { return e12Incast(packet, mode, kSweepSide, k, tr, name) }})
+		}
 	}
 	trials := make([]Trial[e12Cell], len(arms))
 	for i, a := range arms {
@@ -179,16 +214,10 @@ func E12(cfg Config) (*Table, error) {
 			"flows", "attain (%)", "p99 stretch", "jct (us)", "reroutes",
 		},
 	}
-	nodesOf := func(name string) int {
-		if name == "allreduce/packet/healthy" || name == "allreduce/packet/flaps" {
-			return packetCollectiveSide * packetCollectiveSide
-		}
-		return side * side
-	}
 	for i, c := range cells {
 		t.AddRow(
 			arms[i].name,
-			fmt.Sprintf("%d", nodesOf(arms[i].name)),
+			fmt.Sprintf("%d", arms[i].nodes),
 			c.engine, c.mode,
 			fmt.Sprintf("%d", c.flows),
 			fmt.Sprintf("%.1f", c.attainPct),
@@ -203,6 +232,9 @@ func E12(cfg Config) (*Table, error) {
 	t.AddNote("token-vs-vlb rows isolate admission control — pacing trades a serialized-but-bounded tail")
 	t.AddNote("for the open-loop collision tail. allreduce = recursive halving/doubling through the phase")
 	t.AddNote("barrier (RunPhases); flaps = 4 Poisson link flaps derived from the healthy JCT so outages")
-	t.AddNote("land mid-collective. every trial drives the public Cluster facade on its own seeded world")
+	t.AddNote("land mid-collective. every trial drives the public Cluster facade on its own seeded world.")
+	t.AddNote("slo-k rows tighten/loosen the SLO multiplier k (attain = within kx ideal) on the 64-node")
+	t.AddNote("packet incast: the open-loop VLB tail collapses as k shrinks while token pacing's")
+	t.AddNote("serialized-but-bounded completions hold attainment flat far tighter down the k axis")
 	return t, nil
 }

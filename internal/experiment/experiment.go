@@ -7,6 +7,7 @@ package experiment
 import (
 	"fmt"
 
+	"rackfab"
 	"rackfab/internal/fabric"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
@@ -39,6 +40,14 @@ type Config struct {
 	// sequential loop. Results are byte-identical at any setting —
 	// every trial owns its own engine, fabric, and RNG streams.
 	Parallel int
+	// Trace, when non-nil, collects flight-recorder traces from
+	// experiments that drive the public Cluster façade (e12): each such
+	// trial builds its cluster with the set's sizing and registers its
+	// trace under the trial name. Registration is worker-safe and export
+	// order is sorted by name, so the exported bytes stay byte-identical
+	// at any Parallel setting. Experiments over the internal fabric API
+	// leave the set empty.
+	Trace *rackfab.TraceSet
 }
 
 // Workers resolves Parallel to an effective worker count.

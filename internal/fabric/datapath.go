@@ -115,6 +115,10 @@ func (f *Fabric) transmit(node, port int, fr *switching.Frame) {
 		dir = 1
 	}
 	ls.busyPs[dir] += int64(serialize)
+	if f.trace != nil {
+		// Both directions fold into the edge's one utilization track.
+		f.trace.ObserveBusy(int32(e.Index()), f.eng.Now(), float64(serialize))
+	}
 
 	// VOQ delay observed by frames leaving on this link.
 	sojourn := f.eng.Now().Sub(fr.Injected)

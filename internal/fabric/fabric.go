@@ -16,6 +16,7 @@ import (
 	"rackfab/internal/switching"
 	"rackfab/internal/telemetry"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 )
 
 // Config assembles a fabric.
@@ -38,6 +39,12 @@ type Config struct {
 	// CutThroughHeaderBits is how much of a frame must arrive before a
 	// cut-through switch can begin forwarding (header + lookup window).
 	CutThroughHeaderBits int64
+	// Trace, when non-nil, receives the datapath's flight-recorder events
+	// (flow arrivals/completions, VOQ and NIC queue churn, fault replay)
+	// and windowed per-link utilization/queue-depth series. The recorder
+	// must already have its link tracks initialized (trace.LinkNames over
+	// this graph). Nil costs the hot paths a single pointer test.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns the standard assembly for a graph.
@@ -113,6 +120,8 @@ type Fabric struct {
 	pmodel  power.Model
 	claimed map[*phy.Lane][2]topo.NodeID // donated lanes in use, by express endpoints
 
+	trace *trace.Recorder // nil = flight recorder off
+
 	flows        map[host.FlowID]*host.Flow
 	active       map[host.FlowID]*host.Flow
 	nextFlow     host.FlowID
@@ -162,6 +171,7 @@ func New(eng *sim.Engine, cfg Config) (*Fabric, error) {
 		active:  make(map[host.FlowID]*host.Flow),
 		portOf:  make([]map[*topo.Edge]int, n),
 		edgeAt:  make([][]*topo.Edge, n),
+		trace:   cfg.Trace,
 	}
 	f.stats.Latency = telemetry.NewHistogram()
 	f.stats.Hops = telemetry.NewHistogram()
@@ -189,17 +199,27 @@ func New(eng *sim.Engine, cfg Config) (*Fabric, error) {
 		adj := f.g.Adjacent(topo.NodeID(node))
 		swCfg := cfg.Switch
 		swCfg.Ports = 1 + len(adj) + cfg.ExpressPorts
-		f.switches[node] = switching.New(node, eng, swCfg, switching.Callbacks{
+		swCb := switching.Callbacks{
 			Forward:  func(fr *switching.Frame) (int, bool) { return f.forward(node, fr) },
 			TxTime:   func(port int, fr *switching.Frame) sim.Duration { return f.txTime(node, port, fr) },
 			Transmit: func(port int, fr *switching.Frame) { f.transmit(node, port, fr) },
 			Drop:     func(fr *switching.Frame, reason string) { f.onDrop(fr, reason) },
 			Pause:    func(port int, paused bool) { f.onPause(node, port, paused) },
-		})
-		f.hosts[node] = host.New(node, eng, cfg.Host, host.Callbacks{
+		}
+		hostCb := host.Callbacks{
 			Inject:    func(fr *switching.Frame) { f.hostInject(node, fr) },
 			NACKDelay: f.nackDelay,
-		}, &f.frameIDs, f.onFlowDone)
+		}
+		if f.trace != nil {
+			swCb.Trace = func(enq bool, out int, fr *switching.Frame, depth int) {
+				f.traceQueue(node, enq, out, fr, depth)
+			}
+			hostCb.Trace = func(enq bool, flow host.FlowID, depth int) {
+				f.traceNICQueue(node, enq, flow, depth)
+			}
+		}
+		f.switches[node] = switching.New(node, eng, swCfg, swCb)
+		f.hosts[node] = host.New(node, eng, cfg.Host, hostCb, &f.frameIDs, f.onFlowDone)
 	}
 	for _, e := range f.g.Edges() {
 		f.links[e.Link.ID] = &linkState{edge: e, qDelay: telemetry.NewEWMA(0.2)}

@@ -21,6 +21,7 @@ import (
 	"rackfab/internal/phy"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 )
 
 // FaultStats counts the fabric's applied fault replay, mirroring the fluid
@@ -128,9 +129,18 @@ func (f *Fabric) applyFaultGroup(evs []faults.LinkEvent) int {
 			e.SetEnabled(true)
 			f.setActiveLanes(e, int(math.Round(ev.Factor*float64(len(e.Link.Lanes)))))
 		}
+		f.trace.Record(trace.Event{
+			At: f.eng.Now(), Kind: trace.FaultApply,
+			Flow: -1, Link: int32(ev.Edge), Node: -1,
+			Value: int64(math.Round(ev.Factor * 1000)),
+		})
 	}
 	cols := f.table.RepairBatch(f.g, f.costFn, edges)
 	f.faultStats.RouteRepairs += int64(cols)
+	f.trace.Record(trace.Event{
+		At: f.eng.Now(), Kind: trace.FaultRepair,
+		Flow: -1, Link: -1, Node: -1, Value: int64(cols),
+	})
 	now := f.eng.Now()
 	for _, fl := range hit {
 		if f.table.Reachable(topo.NodeID(fl.Src), topo.NodeID(fl.Dst)) {

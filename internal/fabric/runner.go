@@ -6,6 +6,7 @@ import (
 
 	"rackfab/internal/host"
 	"rackfab/internal/sim"
+	"rackfab/internal/trace"
 	"rackfab/internal/workload"
 )
 
@@ -32,7 +33,13 @@ func (f *Fabric) InjectFlows(specs []workload.FlowSpec) ([]*host.Flow, error) {
 		if at < f.eng.Now() {
 			at = f.eng.Now()
 		}
-		f.eng.At(at, "flow-start", func() { f.hosts[fl.Src].StartFlow(fl) })
+		f.eng.At(at, "flow-start", func() {
+			f.trace.RecordFlow(trace.Event{
+				At: f.eng.Now(), Kind: trace.FlowArrive,
+				Flow: int64(fl.ID), Link: -1, Node: int32(fl.Src), Value: fl.Bytes,
+			})
+			f.hosts[fl.Src].StartFlow(fl)
+		})
 	}
 	return flows, nil
 }
@@ -42,6 +49,10 @@ func (f *Fabric) onFlowDone(fl *host.Flow) {
 	delete(f.active, fl.ID)
 	f.stats.FlowsCompleted.Inc()
 	f.stats.FCT.Record(int64(fl.FCT()))
+	f.trace.RecordFlow(trace.Event{
+		At: f.eng.Now(), Kind: trace.FlowComplete,
+		Flow: int64(fl.ID), Link: -1, Node: int32(fl.Dst), Value: int64(fl.FCT()),
+	})
 	if len(f.active) == 0 && f.stopWhenIdle {
 		f.eng.Stop()
 	}

@@ -3,12 +3,14 @@ package fluid
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 
 	"rackfab/internal/faults"
 	"rackfab/internal/route"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 )
 
 // This file is the fluid engine's fault-injection surface: mid-run link
@@ -59,6 +61,11 @@ func (en *engine) applyLinkEventGroup(now sim.Time, evs []faults.LinkEvent) {
 		isUp := newCap > 0
 		en.stats.CapacityEvents++
 		en.linkCap[li] = newCap
+		en.trace.Record(trace.Event{
+			At: now, Kind: trace.FaultApply,
+			Flow: -1, Link: li, Node: -1,
+			Value: int64(math.Round(ev.Factor * 1000)),
+		})
 		en.faultSeeds = append(en.faultSeeds, li)
 		if wasUp != isUp {
 			e := en.edgeByIdx[li]
@@ -72,8 +79,13 @@ func (en *engine) applyLinkEventGroup(now sim.Time, evs []faults.LinkEvent) {
 		}
 	}
 	if len(en.faultEdges) > 0 && en.table != nil {
-		en.stats.RouteRepairs += int64(en.table.RepairBatch(en.graph, route.UniformCost, en.faultEdges))
+		cols := en.table.RepairBatch(en.graph, route.UniformCost, en.faultEdges)
+		en.stats.RouteRepairs += int64(cols)
 		en.routesChanged = true
+		en.trace.Record(trace.Event{
+			At: now, Kind: trace.FaultRepair,
+			Flow: -1, Link: -1, Node: -1, Value: int64(cols),
+		})
 	}
 	for _, li := range en.faultDowned {
 		en.rerouteOff(now, li)

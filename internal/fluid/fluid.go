@@ -29,6 +29,7 @@ import (
 	"rackfab/internal/sim"
 	"rackfab/internal/telemetry"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 	"rackfab/internal/workload"
 )
 
@@ -56,6 +57,13 @@ type Config struct {
 	// hit rate, reroutes) — see NewSolverMetrics. Counters accumulate
 	// across runs sharing one SolverMetrics.
 	Metrics *SolverMetrics
+	// Trace, when non-nil, receives the run's flight-recorder events
+	// (arrivals, completions, refill outcomes, fault replay, phase gates)
+	// and windowed per-link utilization/flow-count series. The recorder
+	// must already have its link tracks initialized (trace.LinkNames over
+	// Graph). Traces differ between warm and cold solver paths — fill
+	// outcomes are recorded — even though flow results are bit-identical.
+	Trace *trace.Recorder
 	// coldStart disables the warm-start replay so every event re-solves its
 	// component from zero. The two paths produce bit-identical allocations;
 	// the switch exists so in-package tests can prove it (and measure the

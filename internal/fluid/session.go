@@ -6,6 +6,7 @@ import (
 	"rackfab/internal/faults"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 	"rackfab/internal/workload"
 )
 
@@ -128,6 +129,7 @@ func newSession(cfg Config, sorted []workload.FlowSpec, order []int, phaseEnd []
 
 	en := newEngine(cfg.Graph, cfg.PerHopLatency)
 	en.cold = cfg.coldStart
+	en.trace = cfg.Trace
 	if err := en.addFlows(sorted); err != nil {
 		return nil, fmt.Errorf("fluid: routing: %w", err)
 	}
@@ -221,6 +223,10 @@ func (s *Session) advance(until sim.Time, idleForward bool) error {
 			s.arrived == s.phaseEnd[s.phase] && en.activeCount == 0 {
 			s.phase++
 			s.phaseBase = s.now
+			en.trace.Record(trace.Event{
+				At: s.now, Kind: trace.PhaseOpen,
+				Flow: -1, Link: -1, Node: -1, Value: int64(s.phase),
+			})
 		}
 		nextDone, doneID := en.nextDone()
 		nextArrival := sim.Forever
@@ -279,11 +285,20 @@ func (s *Session) advance(until sim.Time, idleForward bool) error {
 			s.faulted = j
 		case next == nextArrival && s.arrived < len(en.flows):
 			s.res.Events++
+			spec := en.flows[s.arrived].spec
+			en.trace.RecordFlow(trace.Event{
+				At: s.now, Kind: trace.FlowArrive,
+				Flow: int64(s.arrived), Link: -1, Node: int32(spec.Src), Value: spec.Bytes,
+			})
 			en.arrive(int32(s.arrived), s.now)
 			s.arrived++
 		default:
 			s.res.Events++
 			fr := en.complete(doneID, s.now)
+			en.trace.RecordFlow(trace.Event{
+				At: s.now, Kind: trace.FlowComplete,
+				Flow: int64(doneID), Link: -1, Node: int32(fr.Spec.Dst), Value: int64(fr.FCT),
+			})
 			s.res.Flows = append(s.res.Flows, fr)
 			s.status[doneID] = FlowStatus{Done: true, Start: fr.Start, FCT: fr.FCT, Hops: fr.Hops}
 		}

@@ -9,6 +9,7 @@ import (
 	"rackfab/internal/route"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 	"rackfab/internal/workload"
 )
 
@@ -145,6 +146,11 @@ type engine struct {
 	freezeSeq int64
 	fillSeq   uint64
 	dead      bool
+
+	// trace, when non-nil, receives a flight-recorder event per refill
+	// (warm/fallback/cold outcome) and post-fill windowed series points for
+	// every component link. Pure observability: never read by the solver.
+	trace *trace.Recorder
 
 	// oracleFill is the one fill that stamped every oracle entry of the
 	// current component, or 0 when the entries mix fills. A mixed component
@@ -339,12 +345,43 @@ func (en *engine) refill(now sim.Time, seed []int32, newcomer int32) {
 	if en.cold || en.dead {
 		en.coldRounds(now, remaining)
 		en.stats.ColdFills++
+		en.traceFill(now, trace.FillCold, remaining)
 		return
 	}
 	if en.warmRounds(now, seed, newcomer, remaining) {
 		en.stats.WarmHits++
+		en.traceFill(now, trace.FillWarm, remaining)
 	} else {
 		en.stats.WarmFallbacks++
+		en.traceFill(now, trace.FillFallback, remaining)
+	}
+}
+
+// traceFill records one refill outcome (Value = component flow count) and
+// the component's post-fill series points: per-link utilization — the
+// allocated fraction of live capacity, read off capLeft which the fill
+// just finished consuming — and depth, the active flows sharing the link.
+// Links outside the component kept their previous allocation, so their
+// last observation still stands; only what the fill touched is re-sampled.
+func (en *engine) traceFill(now sim.Time, kind trace.Kind, flows int) {
+	if en.trace == nil {
+		return
+	}
+	en.trace.Record(trace.Event{
+		At: now, Kind: kind, Flow: -1, Link: -1, Node: -1, Value: int64(flows),
+	})
+	for _, li := range en.compLinks {
+		util := 0.0
+		if c := en.linkCap[li]; c > 0 {
+			util = 1 - en.capLeft[li]/c
+			if util < 0 {
+				util = 0
+			} else if util > 1 {
+				util = 1
+			}
+		}
+		en.trace.ObserveUtil(li, now, util)
+		en.trace.ObserveDepth(li, now, float64(len(en.linkFlows[li])))
 	}
 }
 

@@ -121,6 +121,10 @@ type Callbacks struct {
 	// NACKDelay estimates the control-plane delay for a corruption NACK
 	// from dst back to src (reverse-path latency without queueing).
 	NACKDelay func(src, dst int) sim.Duration
+	// Trace, when non-nil, observes NIC send-queue occupancy for the
+	// flight recorder: enq reports push (true) vs drain (false) of a
+	// frame of flow; depth is the queue length after the operation.
+	Trace func(enq bool, flow FlowID, depth int)
 }
 
 // Stats is the per-host instrument block.
@@ -238,6 +242,9 @@ func (h *Host) queueFrame(f *Flow, seq int64, payload, members int, retx bool) {
 		Meta:     &FrameCtx{Flow: f, Seq: seq, PayloadBytes: payload, Frames: members, Retransmit: retx},
 	}
 	h.sendQ = append(h.sendQ, fr)
+	if h.cb.Trace != nil {
+		h.cb.Trace(true, f.ID, len(h.sendQ))
+	}
 }
 
 // pump drains the NIC queue at NICRate.
@@ -247,6 +254,9 @@ func (h *Host) pump() {
 	}
 	fr := h.sendQ[0]
 	h.sendQ = h.sendQ[1:]
+	if h.cb.Trace != nil {
+		h.cb.Trace(false, FlowID(fr.FlowID), len(h.sendQ))
+	}
 	h.nicBusy = true
 	fr.Injected = h.eng.Now()
 	tx := sim.Transmission(fr.DataBits, h.cfg.NICRate)
@@ -330,6 +340,9 @@ func (h *Host) queueFrameCtx(ctx *FrameCtx) {
 		Meta:     ctx,
 	}
 	h.sendQ = append(h.sendQ, fr)
+	if h.cb.Trace != nil {
+		h.cb.Trace(true, ctx.Flow.ID, len(h.sendQ))
+	}
 }
 
 // members returns the context's member-frame count, treating legacy

@@ -24,6 +24,7 @@ var DetPackages = []string{
 	"internal/fluid",
 	"internal/route",
 	"internal/sim",
+	"internal/trace",
 }
 
 // inDetScope reports whether the import path (under module modpath) is on

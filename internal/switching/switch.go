@@ -122,6 +122,12 @@ type Callbacks struct {
 	// Pause asks the fabric to pause/resume the upstream transmitter
 	// feeding input port (hop-by-hop flow control).
 	Pause func(port int, paused bool)
+	// Trace, when non-nil, observes VOQ occupancy changes for the flight
+	// recorder: enq reports push (true) vs grant (false) of frame f
+	// destined for output out; depth is the affected VOQ's length after
+	// the operation. Left nil when tracing is off, so the datapath pays
+	// one nil check.
+	Trace func(enq bool, out int, f *Frame, depth int)
 }
 
 // Stats exposes the switch's instruments.
@@ -241,6 +247,9 @@ func (s *Switch) Inject(port int, f *Frame) {
 	if s.inputCount[port] == s.cfg.PauseHighWatermark && s.cb.Pause != nil {
 		s.cb.Pause(port, true)
 	}
+	if s.cb.Trace != nil {
+		s.cb.Trace(true, out, f, len(s.voq[port][out]))
+	}
 	s.eng.At(entry.eligibleAt, "sw-eligible", func() { s.tryGrant(out) })
 }
 
@@ -307,6 +316,9 @@ func (s *Switch) tryGrant(out int) {
 		s.rrPointer[out] = (in + 1) % n
 		s.stats.Forwarded.Inc()
 		s.stats.QueueDelay.Record(int64(now.Sub(head.enqueued)))
+		if s.cb.Trace != nil {
+			s.cb.Trace(false, out, head.frame, len(s.voq[in][out]))
+		}
 
 		tx := s.cb.TxTime(out, head.frame)
 		s.outBusy[out] = true

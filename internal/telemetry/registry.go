@@ -3,39 +3,50 @@ package telemetry
 import (
 	"fmt"
 	"io"
-	"sort"
 )
+
+// SamplePoint is one scalar of a metric's sample: a suffix (empty for
+// single-valued metrics, ".p99"-style for histograms) and its value.
+type SamplePoint struct {
+	Suffix string
+	Value  float64
+}
 
 // Metric is anything the registry can snapshot into a report row.
 type Metric interface {
-	// Sample returns the metric's current scalar value(s) keyed by suffix.
-	// A plain counter returns {"": v}; a histogram returns p50/p99/... rows.
-	Sample() map[string]float64
+	// Sample returns the metric's current scalar value(s) as ordered
+	// suffix/value pairs. A plain counter returns one point with an empty
+	// suffix; a histogram returns its p50/p99/... rows. The order is fixed
+	// by the metric type — identical runs produce identical sequences, so
+	// Snapshot/WriteTo fingerprints are order-stable by construction rather
+	// than by post-hoc sorting.
+	Sample() []SamplePoint
 }
 
 // counterMetric, gaugeMetric, histMetric adapt the concrete types.
 type counterMetric struct{ c *Counter }
 
-func (m counterMetric) Sample() map[string]float64 {
-	return map[string]float64{"": float64(m.c.Value())}
+func (m counterMetric) Sample() []SamplePoint {
+	return []SamplePoint{{"", float64(m.c.Value())}}
 }
 
 type gaugeMetric struct{ g *Gauge }
 
-func (m gaugeMetric) Sample() map[string]float64 {
-	return map[string]float64{"": m.g.Value()}
+func (m gaugeMetric) Sample() []SamplePoint {
+	return []SamplePoint{{"", m.g.Value()}}
 }
 
 type histMetric struct{ h *Histogram }
 
-func (m histMetric) Sample() map[string]float64 {
+func (m histMetric) Sample() []SamplePoint {
 	s := m.h.Summarize()
-	return map[string]float64{
-		".count": float64(s.Count),
-		".mean":  s.Mean,
-		".p50":   float64(s.P50),
-		".p99":   float64(s.P99),
-		".max":   float64(s.Max),
+	return []SamplePoint{
+		{".count", float64(s.Count)},
+		{".mean", s.Mean},
+		{".p50", float64(s.P50)},
+		{".p99", float64(s.P99)},
+		{".p999", float64(s.P999)},
+		{".max", float64(s.Max)},
 	}
 }
 
@@ -83,34 +94,44 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Snapshot returns all metric values, flattened to "name[suffix]" keys.
-func (r *Registry) Snapshot() map[string]float64 {
-	out := make(map[string]float64)
+// Samples returns every metric value as ordered "name+suffix" pairs:
+// registration order across metrics, each metric's own fixed suffix order
+// within. This is the deterministic form — byte-identical runs yield
+// identical sequences without any sorting pass.
+func (r *Registry) Samples() []SamplePoint {
+	var out []SamplePoint
 	for _, name := range r.names {
-		for suffix, v := range r.metrics[name].Sample() {
-			out[name+suffix] = v
+		for _, p := range r.metrics[name].Sample() {
+			out = append(out, SamplePoint{name + p.Suffix, p.Value})
 		}
 	}
 	return out
 }
 
-// WriteTo renders the snapshot as an aligned two-column table.
-func (r *Registry) WriteTo(w io.Writer) (int64, error) {
-	snap := r.Snapshot()
-	keys := make([]string, 0, len(snap))
-	for k := range snap {
-		keys = append(keys, k)
+// Snapshot returns all metric values, flattened to "name[suffix]" keys.
+// Prefer Samples when iteration order matters: a map's range order is
+// randomized even though the contents here are deterministic.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range r.Samples() {
+		out[p.Suffix] = p.Value
 	}
-	sort.Strings(keys)
+	return out
+}
+
+// WriteTo renders the samples as an aligned two-column table in
+// registration order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	pts := r.Samples()
 	width := 0
-	for _, k := range keys {
-		if len(k) > width {
-			width = len(k)
+	for _, p := range pts {
+		if len(p.Suffix) > width {
+			width = len(p.Suffix)
 		}
 	}
 	var n int64
-	for _, k := range keys {
-		c, err := fmt.Fprintf(w, "%-*s %.6g\n", width, k, snap[k])
+	for _, p := range pts {
+		c, err := fmt.Fprintf(w, "%-*s %.6g\n", width, p.Suffix, p.Value)
 		n += int64(c)
 		if err != nil {
 			return n, err

@@ -1,0 +1,299 @@
+// Package trace is the deterministic flight recorder: a bounded ring
+// buffer of typed, sim-time-stamped events plus fixed-interval windowed
+// series of per-link utilization and queue depth, fed by both the packet
+// datapath and the fluid solver. Everything here is keyed to simulated
+// time and deterministic inputs — no wall clocks, no RNG — so for a given
+// seed the recorded bytes are part of the run's determinism fingerprint:
+// byte-identical across repeats, worker counts, and host core counts.
+//
+// Bounded memory is a design rule, not an option: the ring overwrites its
+// oldest events (tallying how many scrolled off) and the series keep a
+// sliding set of recent windows, so tracing a full-scale or long-running
+// run costs O(capacity), never O(events). Per-flow events are thinned by
+// deterministic sampling — a flow is recorded iff
+// splitmix64(flowID) mod SampleEvery == 0, a pure hash of the canonical
+// flow ID rather than an RNG draw, so the sampled population is identical
+// run to run and independent of event interleaving.
+package trace
+
+import (
+	"fmt"
+
+	"rackfab/internal/sim"
+	"rackfab/internal/telemetry"
+	"rackfab/internal/topo"
+)
+
+// Kind classifies one flight-recorder event.
+type Kind uint8
+
+const (
+	// FlowArrive marks a flow's injection instant (Flow, Node=src,
+	// Value=bytes).
+	FlowArrive Kind = iota
+	// FlowComplete marks final delivery (Flow, Node=dst, Value=latency ps).
+	FlowComplete
+	// Enqueue is a frame/train entering a queue (Flow, Link or Node,
+	// Value=queue depth in frames after the push).
+	Enqueue
+	// Dequeue is a frame/train leaving a queue (Flow, Link or Node,
+	// Value=queue depth in frames after the pop).
+	Dequeue
+	// FaultApply is a link capacity event taking effect (Link,
+	// Value=capacity factor in per-mille; 0 = link down).
+	FaultApply
+	// FaultRepair is a routing-table repair pass after fault application
+	// (Value=repaired destination columns).
+	FaultRepair
+	// FillWarm is a fluid refill answered by the warm-start oracle
+	// (Value=flows in the re-solved component).
+	FillWarm
+	// FillFallback is a warm refill that fell back to a cold solve
+	// (Value=flows in the re-solved component).
+	FillFallback
+	// FillCold is a from-scratch fluid solve (Value=flows in the
+	// re-solved component).
+	FillCold
+	// PhaseOpen is a phase barrier opening (Value=phase index).
+	PhaseOpen
+)
+
+// String returns the fixed schema name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case FlowArrive:
+		return "flow-arrive"
+	case FlowComplete:
+		return "flow-complete"
+	case Enqueue:
+		return "enqueue"
+	case Dequeue:
+		return "dequeue"
+	case FaultApply:
+		return "fault-apply"
+	case FaultRepair:
+		return "fault-repair"
+	case FillWarm:
+		return "fill-warm"
+	case FillFallback:
+		return "fill-fallback"
+	case FillCold:
+		return "fill-cold"
+	case PhaseOpen:
+		return "phase-open"
+	}
+	return "unknown"
+}
+
+// Event is one recorded instant. Fields not meaningful for a kind hold -1
+// (Flow/Link/Node) or 0 (Value); see the Kind constants for each kind's
+// schema.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Flow  int64 // canonical flow ID, -1 when not flow-scoped
+	Link  int32 // link (edge) index, -1 when not link-scoped
+	Node  int32 // node ID, -1 when not node-scoped
+	Value int64 // kind-specific scalar
+}
+
+// Config sizes a Recorder. Zero values select the defaults.
+type Config struct {
+	// Capacity bounds the event ring (default 65536 events).
+	Capacity int
+	// SampleEvery keeps one in N flows (default 1 — every flow). The
+	// kept set is hash-selected from canonical flow IDs, never random.
+	SampleEvery int
+	// SeriesInterval is the window width of the per-link utilization and
+	// queue-depth series (default 1µs of simulated time).
+	SeriesInterval sim.Duration
+	// SeriesWindows bounds the retained windows per series (default 1024).
+	SeriesWindows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 65536
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 1
+	}
+	if c.SeriesInterval <= 0 {
+		c.SeriesInterval = sim.Microsecond
+	}
+	if c.SeriesWindows <= 0 {
+		c.SeriesWindows = 1024
+	}
+	return c
+}
+
+// linkSeries is one link's windowed telemetry pair.
+type linkSeries struct {
+	name  string
+	util  *telemetry.Series // serialization occupancy, ps per window
+	depth *telemetry.Series // queue depth in frames (flows for fluid)
+}
+
+// Recorder is the flight recorder proper. All methods are nil-safe no-ops
+// on a nil *Recorder, so engine hot paths guard with a single pointer test
+// and tracing-off costs nothing. A Recorder belongs to one cluster/session
+// world and is single-threaded like the engine that feeds it.
+type Recorder struct {
+	cfg     Config
+	events  []Event
+	next    int   // ring write cursor
+	total   int64 // events ever recorded (≥ len(events))
+	sampled int64 // flow-scoped candidates suppressed by sampling
+	links   []linkSeries
+	// utilSummed selects how a utilization window reduces to one number:
+	// true for the packet engine (samples are per-transmission busy
+	// fractions; window utilization = Sum), false for the fluid engine
+	// (samples are instantaneous allocated-share fractions; window
+	// utilization = Last).
+	utilSummed bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	return &Recorder{cfg: cfg, events: make([]Event, 0, cfg.Capacity)}
+}
+
+// InitLinks declares the link track set: one utilization and one depth
+// series per name, indexed by the caller's link index (topo Edge.Index on
+// both engines). utilSummed declares the utilization sample convention —
+// see the Recorder field. Call once, before any Observe.
+func (r *Recorder) InitLinks(names []string, utilSummed bool) {
+	if r == nil {
+		return
+	}
+	r.utilSummed = utilSummed
+	r.links = make([]linkSeries, len(names))
+	for i, name := range names {
+		r.links[i] = linkSeries{
+			name:  name,
+			util:  telemetry.NewSeries(int64(r.cfg.SeriesInterval), r.cfg.SeriesWindows),
+			depth: telemetry.NewSeries(int64(r.cfg.SeriesInterval), r.cfg.SeriesWindows),
+		}
+	}
+}
+
+// LinkNames derives the canonical link track names for a graph, indexed by
+// Edge.Index (gaps — e.g. removed express channels — stay empty). The name
+// is stable across engines: "L<index>:<A>-<B>".
+func LinkNames(g *topo.Graph) []string {
+	names := make([]string, g.EdgeIndexBound())
+	for _, e := range g.Edges() {
+		names[e.Index()] = fmt.Sprintf("L%d:%d-%d", e.Index(), e.A, e.B)
+	}
+	return names
+}
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 — the same
+// mix the datapath uses for ECMP tie-breaks. One round is enough to
+// decorrelate adjacent flow IDs so 1-in-N sampling draws a spread
+// population instead of an ID-range prefix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// KeepFlow reports whether flow id is in the deterministic sample set.
+func (r *Recorder) KeepFlow(id int64) bool {
+	if r == nil {
+		return false
+	}
+	return splitmix64(uint64(id))%uint64(r.cfg.SampleEvery) == 0
+}
+
+// Record appends ev to the ring, overwriting the oldest event when full.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.total++
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, ev)
+		return
+	}
+	r.events[r.next] = ev
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+	}
+}
+
+// RecordFlow records a flow-scoped event iff its flow is sampled.
+func (r *Recorder) RecordFlow(ev Event) {
+	if r == nil {
+		return
+	}
+	if !r.KeepFlow(ev.Flow) {
+		r.sampled++
+		return
+	}
+	r.Record(ev)
+}
+
+// ObserveBusy folds a transmitter-busy observation — busyPs picoseconds of
+// serialization starting at simulated instant at — into link li's
+// utilization series as a fraction of the window width, so a window's Sum
+// is its busy fraction (packet-engine convention; pair with
+// InitLinks(…, true)).
+func (r *Recorder) ObserveBusy(li int32, at sim.Time, busyPs float64) {
+	if r == nil || int(li) >= len(r.links) {
+		return
+	}
+	r.links[li].util.Observe(int64(at), busyPs/float64(r.cfg.SeriesInterval))
+}
+
+// ObserveUtil folds an instantaneous utilization fraction (0..1) into link
+// li's utilization series (fluid-engine convention; a window's Last is its
+// utilization; pair with InitLinks(…, false)).
+func (r *Recorder) ObserveUtil(li int32, at sim.Time, frac float64) {
+	if r == nil || int(li) >= len(r.links) {
+		return
+	}
+	r.links[li].util.Observe(int64(at), frac)
+}
+
+// ObserveDepth folds a queue-depth observation into link li's depth
+// series.
+func (r *Recorder) ObserveDepth(li int32, at sim.Time, depth float64) {
+	if r == nil || int(li) >= len(r.links) {
+		return
+	}
+	r.links[li].depth.Observe(int64(at), depth)
+}
+
+// Events returns the retained events oldest-first. The returned slice is
+// freshly ordered but shares no further bookkeeping; it is cheap relative
+// to export.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Total returns how many events were ever recorded (including any that
+// scrolled off the ring).
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped returns how many recorded events the ring has overwritten.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - int64(len(r.events))
+}

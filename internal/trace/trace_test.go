@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rackfab/internal/sim"
+	"rackfab/internal/topo"
+)
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: Enqueue, Flow: int64(i), Link: -1, Node: -1})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Flow != want {
+			t.Fatalf("event %d: flow %d, want %d (oldest-first order broken)", i, ev.Flow, want)
+		}
+	}
+}
+
+func TestFlowSamplingIsDeterministicHash(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 4})
+	kept := 0
+	for id := int64(0); id < 4096; id++ {
+		if r.KeepFlow(id) != (splitmix64(uint64(id))%4 == 0) {
+			t.Fatalf("KeepFlow(%d) disagrees with the documented hash rule", id)
+		}
+		if r.KeepFlow(id) {
+			kept++
+		}
+	}
+	// The hash spreads the kept set: roughly 1 in 4, never an ID prefix.
+	if kept < 3*4096/16 || kept > 5*4096/16 {
+		t.Fatalf("kept %d of 4096 flows at SampleEvery=4", kept)
+	}
+	r.RecordFlow(Event{Flow: 1}) // splitmix64(1)%4 != 0 — suppressed
+	if got := len(r.Events()); got != 0 {
+		t.Fatalf("unsampled flow recorded %d events", got)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.InitLinks([]string{"a"}, true)
+	r.Record(Event{})
+	r.RecordFlow(Event{})
+	r.ObserveBusy(0, 0, 1)
+	r.ObserveUtil(0, 0, 1)
+	r.ObserveDepth(0, 0, 1)
+	if r.Events() != nil || r.Total() != 0 || r.Dropped() != 0 || r.KeepFlow(0) {
+		t.Fatal("nil recorder leaked state")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disabled") {
+		t.Fatalf("nil WriteText = %q", buf.String())
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil WriteJSON not valid JSON: %q", buf.String())
+	}
+}
+
+// populate fills a recorder with a fixed event/series mixture.
+func populate(r *Recorder) {
+	g := topo.NewGrid(2, 2, topo.Options{})
+	r.InitLinks(LinkNames(g), true)
+	r.RecordFlow(Event{At: 1000, Kind: FlowArrive, Flow: 0, Link: -1, Node: 1, Value: 4096})
+	r.Record(Event{At: 1500, Kind: FaultApply, Flow: -1, Link: 2, Node: -1, Value: 0})
+	r.RecordFlow(Event{At: 2000, Kind: Enqueue, Flow: 0, Link: 1, Node: 0, Value: 3})
+	r.RecordFlow(Event{At: 9000, Kind: FlowComplete, Flow: 0, Link: -1, Node: 2, Value: 8000})
+	r.ObserveBusy(0, 500, 250)
+	r.ObserveBusy(0, 900, 250)
+	r.ObserveDepth(1, 2000, 3)
+}
+
+func TestExportsAreStableAndValid(t *testing.T) {
+	render := func() (string, string) {
+		r := NewRecorder(Config{SeriesInterval: sim.Duration(1000)})
+		populate(r)
+		var txt, js bytes.Buffer
+		if err := r.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String(), js.String()
+	}
+	t1, j1 := render()
+	t2, j2 := render()
+	if t1 != t2 {
+		t.Fatal("text export not byte-stable across identical recorders")
+	}
+	if j1 != j2 {
+		t.Fatal("JSON export not byte-stable across identical recorders")
+	}
+	if !json.Valid([]byte(j1)) {
+		t.Fatalf("export is not valid JSON:\n%s", j1)
+	}
+	for _, want := range []string{"flow-arrive", "fault-apply", "sum=0.5", "n=2", `"ph":"b"`, `"ph":"e"`, `"ph":"C"`} {
+		if !strings.Contains(t1+j1, want) {
+			t.Fatalf("exports missing %q\ntext:\n%s\njson:\n%s", want, t1, j1)
+		}
+	}
+}
+
+func TestSetExportsInSortedNameOrder(t *testing.T) {
+	render := func(order []string) string {
+		s := NewSet(Config{})
+		for _, name := range order {
+			r := NewRecorder(s.Config())
+			r.Record(Event{At: 1, Kind: PhaseOpen, Flow: -1, Link: -1, Node: -1})
+			s.Add(name, r)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := render([]string{"b", "a", "c"})
+	b := render([]string{"c", "b", "a"})
+	if a != b {
+		t.Fatalf("Set export depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+	if ia, ib := strings.Index(a, "trace a"), strings.Index(a, "trace b"); ia > ib {
+		t.Fatal("sections not in sorted name order")
+	}
+}
+
+func TestSetRejectsDuplicateNames(t *testing.T) {
+	s := NewSet(Config{})
+	s.Add("x", NewRecorder(Config{}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	s.Add("x", NewRecorder(Config{}))
+}
+
+func TestNilSetIsSafe(t *testing.T) {
+	var s *Set
+	s.Add("x", NewRecorder(Config{}))
+	if s.Len() != 0 {
+		t.Fatal("nil set has length")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkNamesIndexByEdgeIndex(t *testing.T) {
+	g := topo.NewGrid(3, 3, topo.Options{})
+	names := LinkNames(g)
+	if len(names) != g.EdgeIndexBound() {
+		t.Fatalf("len(names) = %d, want %d", len(names), g.EdgeIndexBound())
+	}
+	for _, e := range g.Edges() {
+		if !strings.HasPrefix(names[e.Index()], "L") {
+			t.Fatalf("edge %d name %q", e.Index(), names[e.Index()])
+		}
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"rackfab/internal/sim"
 	"rackfab/internal/switching"
 	"rackfab/internal/topo"
+	"rackfab/internal/trace"
 )
 
 // Topology selects the constructed fabric shape.
@@ -142,6 +143,11 @@ type Config struct {
 	// section: a flow attains the SLO when its FCT is within k× its ideal
 	// (uncontended) FCT. 0 means the default of 4.
 	SLOTargetX float64
+	// Trace, when non-nil, turns on the flight recorder on either engine:
+	// bounded, deterministic event and time-series capture exported via
+	// Cluster.Trace. Nil (the default) compiles the recording hooks out of
+	// the hot paths entirely.
+	Trace *TraceConfig
 }
 
 // Cluster is a running simulated rack. All traffic, run, fault, and report
@@ -152,8 +158,9 @@ type Cluster struct {
 	cfg   Config
 	graph *topo.Graph
 	be    backend
-	pk    *packetBackend // non-nil iff Engine == EnginePacket
-	fl    *fluidBackend  // non-nil iff Engine == EngineFluid
+	pk    *packetBackend  // non-nil iff Engine == EnginePacket
+	fl    *fluidBackend   // non-nil iff Engine == EngineFluid
+	trace *trace.Recorder // non-nil iff Config.Trace was set
 }
 
 // New builds a cluster. The simulation clock starts at zero; nothing runs
@@ -200,6 +207,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{cfg: cfg, graph: g}
+	if cfg.Trace != nil {
+		c.trace = trace.NewRecorder(cfg.Trace.lower())
+		// The utilization-sample convention differs per engine: the packet
+		// datapath folds per-transmission busy fractions (window = Sum), the
+		// fluid solver instantaneous allocated shares (window = Last).
+		c.trace.InitLinks(trace.LinkNames(g), cfg.Engine == EnginePacket || cfg.Engine == "")
+	}
 	switch cfg.Engine {
 	case EnginePacket, "":
 		if err := c.buildPacket(g); err != nil {
@@ -209,7 +223,7 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.Control.Enabled {
 			return nil, fmt.Errorf("rackfab: the Closed Ring Control %w", ErrPacketOnly)
 		}
-		c.fl = &fluidBackend{graph: g}
+		c.fl = &fluidBackend{graph: g, trace: c.trace}
 		c.be = c.fl
 	default:
 		return nil, fmt.Errorf("rackfab: unknown engine %q", cfg.Engine)
@@ -244,6 +258,7 @@ func (c *Cluster) buildPacket(g *topo.Graph) error {
 	default:
 		return fmt.Errorf("rackfab: unknown switch mode %q", cfg.SwitchMode)
 	}
+	fcfg.Trace = c.trace
 	fab, err := fabric.New(eng, fcfg)
 	if err != nil {
 		return err
