@@ -250,6 +250,49 @@ func BenchmarkClusterFluidRun(b *testing.B) {
 	})
 }
 
+// BenchmarkServiceTick prices one service-mode iteration — generate →
+// inject → advance one tick → drain → retire — on a 256-node fluid grid
+// under open-loop Poisson load (~20 arrivals per 1 ms tick). This is the
+// steady-state unit of a soak: per-tick cost must track the in-flight flow
+// count, not the soak's age, so the gated number (BENCH_engine.json) holds
+// whether the loop has run for simulated milliseconds or hours.
+func BenchmarkServiceTick(b *testing.B) {
+	cluster, err := rackfab.New(rackfab.Config{
+		Topology: rackfab.Grid, Width: 16, Height: 16,
+		Engine: rackfab.EngineFluid, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := cluster.Serve(rackfab.ServeConfig{
+		Tick: time.Millisecond,
+		Arrivals: rackfab.ArrivalSpec{
+			Seed: 1, Rate: 20000, Sizes: "fixed:262144",
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up: the first ticks pay the one-time session and routing build
+	// plus cold solver fills; the gated number is the steady-state marginal
+	// tick, so those land before the timer.
+	for i := 0; i < 32; i++ {
+		if err := s.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Completed == 0 {
+		b.Fatal("service made no progress")
+	}
+}
+
 // BenchmarkRouteRebuild measures price-driven routing maintenance on a
 // 256-node torus. The full arm is the from-scratch rebuild the CRC paid
 // every epoch before incremental repair; the repair arm is one link

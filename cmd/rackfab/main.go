@@ -73,6 +73,12 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "serve":
+		if err := runServe(rest, *engineFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "rackfab: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "list":
 		for _, line := range experiment.List() {
 			fmt.Println(line)
@@ -181,6 +187,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: rackfab [-scale quick|full] [-parallel N] [-engine packet|fluid] [-csv path] <experiment|list|all>
        rackfab -experiment <id> [flags]
        rackfab sim [-topo grid] [-width 4] [-height 4] [-workload uniform] …
+       rackfab serve [-width 16] [-rate 50] [-duration 10m] [-checkpoint-at T -checkpoint-out f] [-restore f] …
 
 -parallel N fans an experiment's independent trials over N workers
 (0 = one per CPU, 1 = sequential). Every trial owns its own engine,

@@ -68,7 +68,7 @@ type Flow struct {
 	spec FlowSpec
 	pk   *host.Flow
 	fb   *fluidBackend
-	id   int // canonical fluid flow ID, valid once the fluid run started
+	id   int // batch-major fluid flow ID, valid once the fluid run started
 }
 
 // Done reports completion.
@@ -271,10 +271,11 @@ func (b *packetBackend) fill(r *Report) {
 // Fluid backend
 
 // fluidBackend adapts the incremental max-min solver to the Cluster
-// surface. Injection is deferred: specs accumulate until the first Run
-// call builds the session (flow IDs are canonical over the whole spec
-// multiset, so the set must be closed before the run starts — Inject after
-// that errors).
+// surface. Before the first Run call specs accumulate and the session is
+// built lazily; after it, Inject routes batches into the live session
+// (batch-major flow IDs, so earlier handles never renumber). Every
+// state-mutating call is also recorded in an operation journal — the
+// event-sourced history Cluster.Checkpoint serializes and Restore replays.
 type fluidBackend struct {
 	graph   *topo.Graph
 	sched   *faults.Schedule
@@ -282,23 +283,63 @@ type fluidBackend struct {
 	handles []*Flow
 	sess    *fluid.Session
 	trace   *trace.Recorder // shared with Cluster; nil = tracing off
+
+	journal      []journalOp
+	noCheckpoint bool // set by runPhases: phase gating is not journaled
 }
 
 func (b *fluidBackend) inject(specs []FlowSpec) ([]*Flow, error) {
+	wl := make([]workload.FlowSpec, len(specs))
+	var base sim.Time
 	if b.sess != nil {
-		return nil, fmt.Errorf("rackfab: the fluid engine accepts Inject only before the first Run call")
+		base = b.sess.Now()
+	}
+	for i, s := range specs {
+		wl[i] = workload.FlowSpec{
+			Src: s.Src, Dst: s.Dst, Bytes: s.Bytes,
+			At:    base.Add(simDur(s.At)),
+			Label: s.Label,
+		}
 	}
 	flows := make([]*Flow, len(specs))
-	for i, s := range specs {
-		b.pending = append(b.pending, workload.FlowSpec{
-			Src: s.Src, Dst: s.Dst, Bytes: s.Bytes,
-			At:    sim.Time(simDur(s.At)),
-			Label: s.Label,
-		})
-		flows[i] = &Flow{spec: s, fb: b, id: -1}
+	if b.sess == nil {
+		b.pending = append(b.pending, wl...)
+		for i, s := range specs {
+			flows[i] = &Flow{spec: s, fb: b, id: -1}
+		}
+	} else {
+		// Mid-run injection: At values are relative to the current instant
+		// (same convention as the packet engine). A phased session rejects
+		// this; previously returned handles keep their IDs either way.
+		ids, err := b.sess.Inject(wl)
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range specs {
+			flows[i] = &Flow{spec: s, fb: b, id: ids[i]}
+		}
 	}
+	b.record(journalOp{kind: opInject, specs: wl})
 	b.handles = append(b.handles, flows...)
 	return flows, nil
+}
+
+// injectAbs injects a workload batch with absolute At instants without
+// creating façade handles — the service driver's entry point, where flow
+// state is drained and retired rather than held per handle.
+func (b *fluidBackend) injectAbs(wl []workload.FlowSpec) error {
+	if b.sess == nil {
+		b.pending = append(b.pending, wl...)
+	} else if _, err := b.sess.Inject(wl); err != nil {
+		return err
+	}
+	b.record(journalOp{kind: opInject, specs: wl})
+	return nil
+}
+
+// record appends one operation to the checkpoint journal.
+func (b *fluidBackend) record(op journalOp) {
+	b.journal = append(b.journal, op)
 }
 
 // ensure seals the spec set and builds the session, resolving every
@@ -320,16 +361,26 @@ func (b *fluidBackend) ensure() error {
 }
 
 func (b *fluidBackend) runFor(d time.Duration) error {
+	return b.advanceBy(simDur(d))
+}
+
+// advanceBy advances the session clock by d, journaling the absolute
+// target instant (recorded before the Advance so a checkpoint taken after
+// a failed advance still replays to the same state).
+func (b *fluidBackend) advanceBy(d sim.Duration) error {
 	if err := b.ensure(); err != nil {
 		return err
 	}
-	return b.sess.Advance(b.sess.Now().Add(simDur(d)))
+	until := b.sess.Now().Add(d)
+	b.record(journalOp{kind: opRunFor, until: until})
+	return b.sess.Advance(until)
 }
 
 func (b *fluidBackend) runUntilDone(limit time.Duration) error {
 	if err := b.ensure(); err != nil {
 		return err
 	}
+	b.record(journalOp{kind: opRunUntilDone, until: sim.Time(simDur(limit))})
 	if err := b.sess.AdvanceUntilDone(sim.Time(simDur(limit))); err != nil {
 		return err
 	}
@@ -337,6 +388,26 @@ func (b *fluidBackend) runUntilDone(limit time.Duration) error {
 		return fmt.Errorf("rackfab: %d flows unfinished at %v", b.sess.Remaining(), fromSim(sim.Duration(b.sess.Now())))
 	}
 	return nil
+}
+
+// drainCompleted hands off the session's completions accumulated since the
+// last drain (nil before the run starts). Draining is deliberately NOT
+// journaled: a restore replay keeps every completion, so the service layer
+// can rebuild its streaming statistics from the full history.
+func (b *fluidBackend) drainCompleted() []fluid.FlowResult {
+	if b.sess == nil {
+		return nil
+	}
+	return b.sess.TakeCompleted()
+}
+
+// retire journals and executes a prefix retirement of completed flow state.
+func (b *fluidBackend) retire() int {
+	if b.sess == nil {
+		return 0
+	}
+	b.record(journalOp{kind: opRetire})
+	return b.sess.Retire()
 }
 
 // runPhases lowers barrier-synchronized phases onto a phased fluid session.
@@ -349,6 +420,11 @@ func (b *fluidBackend) runPhases(phases [][]FlowSpec, limit time.Duration) ([][]
 	if len(b.pending) > 0 {
 		return nil, fmt.Errorf("rackfab: the fluid engine cannot mix RunPhases with pending Inject specs")
 	}
+	// Phase gating replays through NewPhasedSession, not the op journal;
+	// checkpointing a phased run is out of scope (phased sessions also
+	// reject mid-run Inject and Retire).
+	b.noCheckpoint = true
+	b.journal = nil
 	wl := make([][]workload.FlowSpec, len(phases))
 	out := make([][]*Flow, len(phases))
 	for p, ph := range phases {

@@ -395,14 +395,22 @@ func TestFluidSurfaceGuards(t *testing.T) {
 	if err := c.RunFor(time.Microsecond); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Inject(differentialSpecs()); err == nil {
-		t.Fatal("Inject accepted after the fluid run started")
+	// Mid-run injection is a supported service-mode operation: the second
+	// batch gets fresh batch-major IDs and completes like any other.
+	late, err := c.Inject(differentialSpecs())
+	if err != nil {
+		t.Fatalf("mid-run Inject: %v", err)
 	}
 	if err := c.ApplyFaults(flapSchedule()); err == nil {
 		t.Fatal("ApplyFaults accepted after the fluid run started")
 	}
 	if err := c.RunUntilDone(time.Minute); err != nil {
 		t.Fatal(err)
+	}
+	for i, f := range late {
+		if !f.Done() {
+			t.Fatalf("mid-run injected flow %d unfinished", i)
+		}
 	}
 }
 

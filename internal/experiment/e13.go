@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"rackfab"
+)
+
+// E13 measures service mode itself: a long-running cluster under open-loop
+// Poisson load at stepped offered rates, on both engines. Each cell reports
+// what an operator of the fabric-as-a-service would watch — SLO attainment,
+// tail FCT, retirement keeping pace with injection, and the peak retained
+// flow-state count (the flat-memory property the soak gate bounds). The
+// load axis shows the knee: attainment holds until the offered rate crosses
+// what the fabric drains, then the tail and the retained peak grow together.
+
+// e13Seed fixes every e13 cluster and arrival draw.
+const e13Seed = 13
+
+// e13Cell is one (engine, rate) service run reduced to scalars.
+type e13Cell struct {
+	engine       string
+	rate         float64
+	injected     int64
+	completed    int64
+	attainPct    float64
+	p99FCT       time.Duration
+	retired      int64
+	retainedPeak int
+}
+
+// e13Serve runs one open-loop service arm to the horizon and snapshots its
+// streaming statistics.
+func e13Serve(engine rackfab.Engine, side int, rate float64, horizon time.Duration) (e13Cell, error) {
+	c, err := rackfab.New(rackfab.Config{
+		Topology: rackfab.Grid, Width: side, Height: side,
+		Seed: e13Seed, Engine: engine,
+	})
+	if err != nil {
+		return e13Cell{}, err
+	}
+	s, err := c.Serve(rackfab.ServeConfig{
+		Tick: 500 * time.Microsecond,
+		Arrivals: rackfab.ArrivalSpec{
+			Seed:  e13Seed,
+			Rate:  rate,
+			Sizes: "fixed:65536",
+		},
+	})
+	if err != nil {
+		return e13Cell{}, err
+	}
+	if err := s.RunUntil(horizon); err != nil {
+		return e13Cell{}, fmt.Errorf("e13 %s rate %g: %w", engine, rate, err)
+	}
+	st := s.Stats()
+	return e13Cell{
+		engine: string(engine), rate: rate,
+		injected: st.Injected, completed: st.Completed,
+		attainPct: st.AttainPct, p99FCT: st.P99FCT,
+		retired: st.Retired, retainedPeak: st.RetainedPeak,
+	}, nil
+}
+
+// E13 sweeps offered load × engine through the service loop. Quick runs a
+// 16-node fabric for 20ms of simulated time; Full widens to 64 nodes and a
+// 100ms horizon.
+func E13(cfg Config) (*Table, error) {
+	side := cfg.Scale.pick(4, 8)
+	horizon := time.Duration(cfg.Scale.pick(20, 100)) * time.Millisecond
+	rates := []float64{2000, 10000, 50000}
+
+	type arm struct {
+		name   string
+		engine rackfab.Engine
+		rate   float64
+	}
+	var arms []arm
+	for _, engine := range []rackfab.Engine{rackfab.EnginePacket, rackfab.EngineFluid} {
+		for _, rate := range rates {
+			arms = append(arms, arm{
+				name:   fmt.Sprintf("%s/%.0f", engine, rate),
+				engine: engine, rate: rate,
+			})
+		}
+	}
+	trials := make([]Trial[e13Cell], len(arms))
+	for i, a := range arms {
+		a := a
+		trials[i] = Trial[e13Cell]{Name: a.name, Run: func() (e13Cell, error) {
+			return e13Serve(a.engine, side, a.rate, horizon)
+		}}
+	}
+	cells, err := Sweep(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("E13 — service mode: open-loop offered-load sweep, %d-node grid, %v horizon", side*side, horizon),
+		Columns: []string{
+			"engine", "rate (flows/s)", "injected", "completed",
+			"attain (%)", "fct p99 (us)", "retired", "retained peak",
+		},
+	}
+	for _, c := range cells {
+		t.AddRow(
+			c.engine,
+			fmt.Sprintf("%.0f", c.rate),
+			fmt.Sprintf("%d", c.injected),
+			fmt.Sprintf("%d", c.completed),
+			fmt.Sprintf("%.1f", c.attainPct),
+			fmt.Sprintf("%.2f", float64(c.p99FCT.Nanoseconds())/1e3),
+			fmt.Sprintf("%d", c.retired),
+			fmt.Sprintf("%d", c.retainedPeak),
+		)
+	}
+	t.AddNote("each row is one Serve loop: generate -> inject -> advance one tick -> drain -> retire,")
+	t.AddNote("Poisson arrivals of 64KiB flows at the offered rate. attain = share of completions within")
+	t.AddNote("4x ideal FCT. retained peak is the engine's per-flow state high-water mark: flat across")
+	t.AddNote("the horizon while retirement keeps up, growing only past the fabric's drain rate.")
+	return t, nil
+}

@@ -54,8 +54,8 @@ func TestTableRowMismatchPanics(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(IDs()) != 14 {
-		t.Fatalf("experiments = %d, want 14", len(IDs()))
+	if len(IDs()) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(IDs()))
 	}
 	if _, ok := Lookup("fig1"); !ok {
 		t.Fatal("fig1 missing")
@@ -63,7 +63,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := Lookup("bogus"); ok {
 		t.Fatal("bogus found")
 	}
-	if len(List()) != 14 {
+	if len(List()) != 15 {
 		t.Fatal("List size")
 	}
 }

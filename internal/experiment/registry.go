@@ -29,6 +29,7 @@ var registry = map[string]struct {
 	"e9":   {E9, "adaptive FEC on a bursty (Gilbert–Elliott) channel", "packet"},
 	"e10":  {E10, "churn: degradation + recovery under Poisson link flaps and node loss", "fluid"},
 	"e12":  {E12, "SLO attainment: incast admission modes + phased all-reduce (PL2-style)", "both"},
+	"e13":  {E13, "service mode: open-loop offered-load sweep, attainment and retirement", "both"},
 	"a1":   {A1, "ablation: CRC price-weight terms under hotspot load", "packet"},
 	"a2":   {A2, "ablation: bypass express channels for elephants", "packet"},
 	"a3":   {A3, "ablation: shortest-path vs VLB vs CRC adaptive routing", "packet"},

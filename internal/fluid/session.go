@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rackfab/internal/faults"
+	"rackfab/internal/heapx"
 	"rackfab/internal/sim"
 	"rackfab/internal/topo"
 	"rackfab/internal/trace"
@@ -33,6 +34,21 @@ type Session struct {
 	arrived    int
 	faulted    int
 
+	// Unphased sessions schedule pending arrivals through this (At, flow
+	// ID) min-heap instead of a cursor, so mid-run Inject can append
+	// batches whose instants interleave with flows already waiting. For a
+	// single batch the pop order is exactly cursor order: canonical IDs
+	// are At-major, so (At, fid) ascending ≡ fid ascending. Phased
+	// sessions keep the cursor (the gate needs contiguous phase-major
+	// IDs) and reject Inject.
+	arrivalQ heapx.Heap[arrivalEntry]
+
+	// idBase is the count of flows retired (prefix-compacted) so far:
+	// public flow ID = internal engine index + idBase. Handles returned
+	// before a Retire stay valid forever; the internal rebase is a uniform
+	// shift, invariant for every ordering the solver depends on.
+	idBase int
+
 	// Phase gating (NewPhasedSession). phaseEnd[p] is the exclusive flow-ID
 	// bound of phase p (cumulative counts); nil means unphased. Flows of
 	// phase p+1 are held until every flow with ID < phaseEnd[p] has arrived
@@ -61,6 +77,22 @@ type FlowStatus struct {
 	Start sim.Time
 	FCT   sim.Duration
 	Hops  int
+}
+
+// arrivalEntry is one pending arrival: ordered by instant, then flow ID — a
+// total order, so tied arrivals resolve in canonical ID order exactly as the
+// cursor they replace did.
+type arrivalEntry struct {
+	at  sim.Time
+	fid int32
+}
+
+// Before implements heapx.Ordered.
+func (e arrivalEntry) Before(other arrivalEntry) bool {
+	if e.at != other.at {
+		return e.at < other.at
+	}
+	return e.fid < other.fid
 }
 
 // NewSession validates the configuration, routes the canonicalized specs,
@@ -154,6 +186,14 @@ func newSession(cfg Config, sorted []workload.FlowSpec, order []int, phaseEnd []
 			s.savedEnabled[i] = e.Enabled()
 		}
 	}
+	if phaseEnd == nil {
+		// Canonical IDs are At-major, so these pushes arrive in key order
+		// and the heap build is a plain append.
+		s.arrivalQ.Grow(len(en.flows))
+		for i := range en.flows {
+			s.arrivalQ.Push(arrivalEntry{at: en.flows[i].spec.At, fid: int32(i)})
+		}
+	}
 	return s, nil
 }
 
@@ -166,9 +206,17 @@ func (s *Session) Order() []int { return s.order }
 // Now returns the session clock.
 func (s *Session) Now() sim.Time { return s.now }
 
+// pending returns the number of flows that have not yet arrived.
+func (s *Session) pending() int {
+	if s.phaseEnd != nil {
+		return len(s.en.flows) - s.arrived
+	}
+	return s.arrivalQ.Len()
+}
+
 // Done reports whether every flow has arrived and completed.
 func (s *Session) Done() bool {
-	return s.arrived == len(s.en.flows) && s.en.activeCount == 0
+	return s.pending() == 0 && s.en.activeCount == 0
 }
 
 // ActiveFlows returns the number of in-flight flows.
@@ -177,14 +225,31 @@ func (s *Session) ActiveFlows() int { return s.en.activeCount }
 // Remaining returns the number of flows not yet completed (active or not
 // yet arrived).
 func (s *Session) Remaining() int {
-	return s.en.activeCount + len(s.en.flows) - s.arrived
+	return s.en.activeCount + s.pending()
 }
 
-// FlowStatus returns flow id's progress. IDs come from Order.
+// RetainedFlows returns the number of per-flow state records currently held
+// (pending + active + completed-but-unretired) — the quantity the service
+// soak gate asserts stays flat as total flows served grows.
+func (s *Session) RetainedFlows() int { return len(s.en.flows) }
+
+// Retired returns the cumulative number of flows dropped by Retire.
+func (s *Session) Retired() int { return s.idBase }
+
+// publicID maps an internal engine index to the stable public flow ID.
+func (s *Session) publicID(fid int32) int64 { return int64(int(fid) + s.idBase) }
+
+// FlowStatus returns flow id's progress. IDs come from Order (and from
+// Inject for later batches). A retired ID reports Done with zeroed detail:
+// its completion record was already drained through TakeCompleted.
 func (s *Session) FlowStatus(id int) FlowStatus {
-	st := s.status[id]
+	fid := id - s.idBase
+	if fid < 0 {
+		return FlowStatus{Done: true}
+	}
+	st := s.status[fid]
 	if !st.Done {
-		f := &s.en.flows[id]
+		f := &s.en.flows[fid]
 		st.Start = f.start
 		st.Hops = f.hops
 	}
@@ -213,7 +278,7 @@ func (s *Session) AdvanceUntilDone(until sim.Time) error {
 
 func (s *Session) advance(until sim.Time, idleForward bool) error {
 	en := s.en
-	for s.arrived < len(en.flows) || en.activeCount > 0 {
+	for s.pending() > 0 || en.activeCount > 0 {
 		// Phase gate: when the current phase has fully arrived and drained,
 		// the next phase anchors at this very instant. Loop (not if): a
 		// degenerate schedule could drain several phases at one instant only
@@ -230,11 +295,19 @@ func (s *Session) advance(until sim.Time, idleForward bool) error {
 		}
 		nextDone, doneID := en.nextDone()
 		nextArrival := sim.Forever
-		if s.arrived < len(en.flows) && (s.phaseEnd == nil || s.arrived < s.phaseEnd[s.phase]) {
-			nextArrival = s.phaseBase.Add(sim.Duration(en.flows[s.arrived].spec.At))
-			if nextArrival < s.now {
-				nextArrival = s.now
+		arriveFid := int32(-1)
+		if s.phaseEnd != nil {
+			if s.arrived < len(en.flows) && s.arrived < s.phaseEnd[s.phase] {
+				arriveFid = int32(s.arrived)
+				nextArrival = s.phaseBase.Add(sim.Duration(en.flows[s.arrived].spec.At))
 			}
+		} else if s.arrivalQ.Len() > 0 {
+			e := s.arrivalQ.Min()
+			arriveFid = e.fid
+			nextArrival = e.at
+		}
+		if arriveFid >= 0 && nextArrival < s.now {
+			nextArrival = s.now
 		}
 		nextFault := sim.Forever
 		if s.faulted < len(s.linkEvents) {
@@ -257,7 +330,7 @@ func (s *Session) advance(until sim.Time, idleForward bool) error {
 			return fmt.Errorf("fluid: stalled at %v with %d active flows and no progress", s.now, en.activeCount)
 		}
 		if next > s.cfg.Limit {
-			return fmt.Errorf("fluid: time limit %v exceeded with %d flows left", s.cfg.Limit, en.activeCount+len(en.flows)-s.arrived)
+			return fmt.Errorf("fluid: time limit %v exceeded with %d flows left", s.cfg.Limit, en.activeCount+s.pending())
 		}
 		if next > until {
 			if until > s.now {
@@ -283,21 +356,24 @@ func (s *Session) advance(until sim.Time, idleForward bool) error {
 			}
 			en.applyLinkEventGroup(s.now, s.linkEvents[s.faulted:j])
 			s.faulted = j
-		case next == nextArrival && s.arrived < len(en.flows):
+		case next == nextArrival && arriveFid >= 0:
+			if s.phaseEnd == nil {
+				s.arrivalQ.Pop()
+			}
 			s.res.Events++
-			spec := en.flows[s.arrived].spec
+			spec := en.flows[arriveFid].spec
 			en.trace.RecordFlow(trace.Event{
 				At: s.now, Kind: trace.FlowArrive,
-				Flow: int64(s.arrived), Link: -1, Node: int32(spec.Src), Value: spec.Bytes,
+				Flow: s.publicID(arriveFid), Link: -1, Node: int32(spec.Src), Value: spec.Bytes,
 			})
-			en.arrive(int32(s.arrived), s.now)
+			en.arrive(arriveFid, s.now)
 			s.arrived++
 		default:
 			s.res.Events++
 			fr := en.complete(doneID, s.now)
 			en.trace.RecordFlow(trace.Event{
 				At: s.now, Kind: trace.FlowComplete,
-				Flow: int64(doneID), Link: -1, Node: int32(fr.Spec.Dst), Value: int64(fr.FCT),
+				Flow: s.publicID(doneID), Link: -1, Node: int32(fr.Spec.Dst), Value: int64(fr.FCT),
 			})
 			s.res.Flows = append(s.res.Flows, fr)
 			s.status[doneID] = FlowStatus{Done: true, Start: fr.Start, FCT: fr.FCT, Hops: fr.Hops}
@@ -308,6 +384,105 @@ func (s *Session) advance(until sim.Time, idleForward bool) error {
 		s.now = until
 	}
 	return nil
+}
+
+// Inject appends a batch of specs to a running unphased session — the
+// service-mode entry point. At values are absolute session instants; an At
+// earlier than the clock arrives immediately, exactly as an initial spec
+// bypassed by time would. The returned IDs are batch-major: total flows ever
+// added + canonical position within this batch, so IDs handed out for
+// earlier batches never renumber. A destination unreachable under a live
+// fault is not an error: the flow parks unrouted and is re-pathed when it
+// arrives or when the partition heals.
+func (s *Session) Inject(specs []workload.FlowSpec) ([]int, error) {
+	if s.phaseEnd != nil {
+		return nil, fmt.Errorf("fluid: phased sessions do not accept mid-run Inject")
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	order := canonicalOrder(specs)
+	sorted := make([]workload.FlowSpec, len(specs))
+	for i, sp := range specs {
+		sorted[order[i]] = sp
+	}
+	if err := workload.ValidateSpecs(sorted, s.cfg.Graph.NumNodes()); err != nil {
+		return nil, err
+	}
+	en := s.en
+	fidBase := len(en.flows)
+	if err := en.addBatch(sorted); err != nil {
+		return nil, fmt.Errorf("fluid: routing: %w", err)
+	}
+	s.status = append(s.status, make([]FlowStatus, len(sorted))...)
+	s.arrivalQ.Grow(s.arrivalQ.Len() + len(sorted))
+	for i := range sorted {
+		s.arrivalQ.Push(arrivalEntry{at: sorted[i].At, fid: int32(fidBase + i)})
+	}
+	ids := make([]int, len(specs))
+	base := s.idBase + fidBase
+	for i, id := range order {
+		ids[i] = base + id
+	}
+	return ids, nil
+}
+
+// Retire drops the per-flow state of the longest fully-completed prefix of
+// the ID space and rebases the survivors down — the bounded-memory primitive
+// for service mode. Public IDs are untouched (id maps to internal index
+// id − idBase), and the internal rebase is a uniform shift: every ordering
+// the solver ties on (completion-heap fid tie-breaks, flow-ID iteration,
+// arrival order) is invariant under it, so a retired session's subsequent
+// computation is bit-identical to an unretired one's. Pending flows are
+// never Done, so the cut never crosses an arrival still in the queue.
+// Phased sessions never retire (the gate indexes the full ID space);
+// returns the number of flows retired.
+func (s *Session) Retire() int {
+	if s.phaseEnd != nil {
+		return 0
+	}
+	cut := 0
+	for cut < len(s.status) && s.status[cut].Done {
+		cut++
+	}
+	if cut == 0 {
+		return 0
+	}
+	en := s.en
+	// Entries for retired flows are all stale (a completed flow is
+	// inactive); drop them before the rebase so no entry ever indexes out
+	// of range.
+	en.done.Filter(func(e doneEntry) bool { return int(e.fid) >= cut })
+	en.done.Reindex(func(e doneEntry) doneEntry { e.fid -= int32(cut); return e })
+	s.arrivalQ.Reindex(func(e arrivalEntry) arrivalEntry { e.fid -= int32(cut); return e })
+	for li := range en.linkFlows {
+		lf := en.linkFlows[li]
+		for k := range lf {
+			lf[k] -= int32(cut)
+		}
+	}
+	n := len(en.flows) - cut
+	copy(en.flows, en.flows[cut:])
+	for i := n; i < len(en.flows); i++ {
+		en.flows[i] = flowState{} // release retired path slices
+	}
+	en.flows = en.flows[:n]
+	en.flowEpoch = append(en.flowEpoch[:0], en.flowEpoch[cut:]...)
+	en.frozenEpoch = append(en.frozenEpoch[:0], en.frozenEpoch[cut:]...)
+	en.suspect = append(en.suspect[:0], en.suspect[cut:]...)
+	s.status = append(s.status[:0], s.status[cut:]...)
+	s.idBase += cut
+	return cut
+}
+
+// TakeCompleted drains and returns the completion records accumulated since
+// the last call, in completion order. Service drivers stream results out
+// through it so a long-running session's Result does not grow with history;
+// a Snapshot after a Take summarizes only the undrained tail.
+func (s *Session) TakeCompleted() []FlowResult {
+	out := s.res.Flows
+	s.res.Flows = nil
+	return out
 }
 
 // Snapshot returns a summarized copy of the results so far. The live run is

@@ -107,6 +107,43 @@ func TestSessionMatchesRun(t *testing.T) {
 	}
 }
 
+// TestSessionMatchesRunMultiBatch is the service-mode arm: a session that
+// receives a second batch mid-run must be invariant to how the surrounding
+// time is sliced — many 7µs Advances against a single AdvanceUntilDone, with
+// the Inject at the same instant, produce byte-identical results. (The
+// injected-vs-upfront-Run equivalence is TestSessionInjectMatchesUpfront.)
+func TestSessionMatchesRunMultiBatch(t *testing.T) {
+	inject := injectBatch2()
+	injectAt := 15 * sim.Time(sim.Microsecond)
+	run := func(stepped bool) string {
+		g := topo.NewGrid(4, 4, topo.Options{})
+		s, err := NewSession(Config{Graph: g}, sessionSpecs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Advance(injectAt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Inject(inject); err != nil {
+			t.Fatal(err)
+		}
+		if stepped {
+			step := 7 * sim.Time(sim.Microsecond)
+			for until := injectAt + step; !s.Done(); until += step {
+				if err := s.Advance(until); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else if err := s.AdvanceUntilDone(sim.Forever); err != nil {
+			t.Fatal(err)
+		}
+		return resultFingerprint(s.Snapshot())
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("multi-batch stepping diverged:\n--- stepped ---\n%s--- one-shot ---\n%s", a, b)
+	}
+}
+
 // TestSessionOrderIsInputInvariant: the Order mapping must hand every input
 // position the canonical ID of its spec regardless of input order.
 func TestSessionOrderIsInputInvariant(t *testing.T) {

@@ -1,6 +1,7 @@
 package fluid
 
 import (
+	"errors"
 	"math"
 	"slices"
 
@@ -135,9 +136,12 @@ type engine struct {
 
 	// Round-closure state: tied is the worklist of links at exactly the
 	// round's bottleneck share; tieStamp dedupes enqueues per round.
+	// seedMark stamps the current fill's seed links (epoch-scoped) so the
+	// warm drain can recognize suspects confined to the perturbed path.
 	round    uint32
 	tieStamp []uint32
 	tied     []int32
+	seedMark []uint32
 
 	// freezeSeq stamps flows in freeze order and fillSeq identifies the
 	// fill doing the stamping; dead permanently disables warm start after
@@ -155,9 +159,12 @@ type engine struct {
 	// oracleFill is the one fill that stamped every oracle entry of the
 	// current component, or 0 when the entries mix fills. A mixed component
 	// arises when an arrival bridges parts last solved by different fills:
-	// their chronologies never interleaved, so no sequence order reproduces
-	// the value order the scan loop would run the merged parts in, and the
-	// fill must go cold once to give the union a common chronology.
+	// their chronologies never interleaved, so the sequence stamps alone
+	// don't order the merged schedule. warmRounds reconstructs it by rate
+	// (each part's chronology preserved via the seq tie-break) when every
+	// part's own levels ascend, and goes cold once — restamping the union
+	// with a common chronology — only when a floating-point dip inside a
+	// part makes that reconstruction unsound.
 	oracleFill uint64
 }
 
@@ -184,9 +191,21 @@ func newEngine(g *topo.Graph, perHop sim.Duration) *engine {
 	}
 	en.linkEpoch = make([]uint32, nl)
 	en.tieStamp = make([]uint32, nl)
+	en.seedMark = make([]uint32, nl)
 	en.capLeft = make([]float64, nl)
 	en.unfrozen = make([]int32, nl)
 	return en
+}
+
+// onlySeedLinks reports whether every link flow fid crosses is a seed link
+// of the current fill (stamped by warmRounds at entry).
+func (en *engine) onlySeedLinks(fid int32) bool {
+	for _, li := range en.flows[fid].links {
+		if en.seedMark[li] != en.epoch {
+			return false
+		}
+	}
+	return true
 }
 
 // addFlows routes the canonicalized specs and allocates flow state. Flows
@@ -209,6 +228,40 @@ func (en *engine) addFlows(specs []workload.FlowSpec) error {
 			links[j] = int32(e.Index())
 		}
 		en.flows[i] = flowState{spec: spec, links: links, hops: len(path)}
+	}
+	return nil
+}
+
+// addBatch routes and appends a mid-run batch of canonicalized specs —
+// Session.Inject's engine half. Unlike addFlows, an unreachable destination
+// is not an error here: an injection can race an unhealed fault, so the
+// flow parks with no path (it starves at rate 0 on arrival) and repath /
+// rescueStarved pick it up when the topology heals. The zero epoch stamps
+// of appended entries are never live: engine.epoch starts counting at 1.
+func (en *engine) addBatch(specs []workload.FlowSpec) error {
+	if len(specs) > 0 && en.table == nil {
+		en.table = route.Build(en.graph, route.UniformCost)
+	}
+	for _, spec := range specs {
+		fs := flowState{spec: spec}
+		path, err := en.table.Path(topo.NodeID(spec.Src), topo.NodeID(spec.Dst))
+		switch {
+		case err == nil:
+			links := make([]int32, len(path))
+			for j, e := range path {
+				links[j] = int32(e.Index())
+			}
+			fs.links = links
+			fs.hops = len(path)
+		case errors.Is(err, route.ErrUnreachable):
+			// Parked: every current path crosses a dead link.
+		default:
+			return err
+		}
+		en.flows = append(en.flows, fs)
+		en.flowEpoch = append(en.flowEpoch, 0)
+		en.frozenEpoch = append(en.frozenEpoch, 0)
+		en.suspect = append(en.suspect, 0)
 	}
 	return nil
 }
@@ -519,23 +572,70 @@ func (en *engine) freeze(fid int32, now sim.Time, best float64) {
 // (entry guard or mid-fill fallback) — the warm-start hit-rate telemetry
 // the experiments print.
 func (en *engine) warmRounds(now sim.Time, seed []int32, newcomer int32, remaining int) bool {
-	if en.zeroRates > 1 || (en.zeroRates == 1 && newcomer < 0) || en.oracleFill == 0 {
-		// A flow with no previous rate that isn't the newcomer (a starved
-		// corner the schedule can't speak for), or oracle entries stamped
-		// by different fills (a merge with no common chronology).
+	if en.zeroRates > 1 || (en.zeroRates == 1 && newcomer < 0) {
+		// A flow with no previous rate that isn't the newcomer — a starved
+		// corner the schedule can't speak for.
 		en.coldRounds(now, remaining)
 		return false
 	}
 	lv := en.levels
-	slices.SortFunc(lv, func(a, b levelEntry) int {
-		if a.seq < b.seq {
-			return -1
+	if en.oracleFill == 0 {
+		// Merge replay: the oracle entries were stamped by different fills —
+		// an arrival bridged parts last solved separately. The parts shared
+		// no link (they were distinct components), so each part's clean
+		// links still evolve exactly as in that part's own last fill, and
+		// the merged scan loop would consume the union of the part
+		// schedules in ascending level order. That merged chronology exists
+		// only if every part's own levels ascend in its freeze order:
+		// sorting by (fill, seq) to check, then by (rate, seq) to replay,
+		// reproduces it. A floating-point dip inside any part means no
+		// single ordering serves both the rate scan and that part's
+		// chronology, and the fill goes cold once to restamp the union.
+		slices.SortFunc(lv, func(a, b levelEntry) int {
+			if fa, fb := en.flows[a.fid].fill, en.flows[b.fid].fill; fa != fb {
+				if fa < fb {
+					return -1
+				}
+				return 1
+			}
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		})
+		for k := 1; k < len(lv); k++ {
+			if en.flows[lv[k].fid].fill == en.flows[lv[k-1].fid].fill && lv[k].rate < lv[k-1].rate {
+				en.coldRounds(now, remaining)
+				return false
+			}
 		}
-		return 1
-	})
+		slices.SortFunc(lv, func(a, b levelEntry) int {
+			if a.rate != b.rate {
+				if a.rate < b.rate {
+					return -1
+				}
+				return 1
+			}
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		})
+	} else {
+		slices.SortFunc(lv, func(a, b levelEntry) int {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		})
+	}
 	// Suspects: flows crossing a seed link. Everything else in the schedule
-	// freezes at its old rate without per-flow checks.
+	// freezes at its old rate without per-flow checks. seedMark stamps the
+	// seed links themselves so the drain loop can tell a suspect confined
+	// entirely to the perturbed path — absorbable like the newcomer — from
+	// one whose rate change would invalidate a clean link's trajectory.
 	for _, li := range seed {
+		en.seedMark[li] = en.epoch
 		for _, fid := range en.linkFlows[li] {
 			en.suspect[fid] = en.epoch
 		}
@@ -623,7 +723,14 @@ func (en *engine) warmRounds(now sim.Time, seed []int32, newcomer int32, remaini
 				if en.frozenEpoch[fid] == en.epoch {
 					continue
 				}
-				if fid != newcomer && en.flows[fid].rate != b {
+				if fid != newcomer && en.flows[fid].rate != b && !en.onlySeedLinks(fid) {
+					// A flow freezing off its old rate kills the schedule —
+					// unless every link it crosses is a seed link. Such a
+					// flow is absorbed like the newcomer: seed links are
+					// re-verified live every round (dirtyMin), so its new
+					// rate perturbs no trajectory the schedule still
+					// depends on, and its own stale level entry drains as
+					// an empty round when the cursor reaches it.
 					offSchedule = true
 				}
 				en.frozenEpoch[fid] = en.epoch

@@ -66,6 +66,16 @@ func (h *Heap[T]) Pop() T {
 	return top
 }
 
+// Reindex rewrites every element in place with f. f must be
+// order-isomorphic (a.Before(b) ⇔ f(a).Before(f(b))) so the heap invariant
+// is preserved without a rebuild — the primitive for uniform ID rebasing
+// when a prefix of the keyed space is retired.
+func (h *Heap[T]) Reindex(f func(T) T) {
+	for i := range h.items {
+		h.items[i] = f(h.items[i])
+	}
+}
+
 // Filter keeps only elements satisfying keep and restores heap order — the
 // compaction primitive for lazily-invalidated heaps.
 func (h *Heap[T]) Filter(keep func(T) bool) {

@@ -60,6 +60,29 @@ func TestHeapFilter(t *testing.T) {
 	}
 }
 
+func TestHeapReindex(t *testing.T) {
+	var h Heap[intEntry]
+	for i := 0; i < 100; i++ {
+		h.Push(intEntry{k: i % 10, id: i + 50})
+	}
+	// A uniform shift of the tie-break key is order-isomorphic.
+	h.Reindex(func(e intEntry) intEntry { return intEntry{k: e.k, id: e.id - 50} })
+	prev := h.Pop()
+	if prev.id >= 50 {
+		t.Fatalf("entry %+v not reindexed", prev)
+	}
+	for h.Len() > 0 {
+		cur := h.Pop()
+		if cur.Before(prev) {
+			t.Fatalf("heap order broken after Reindex: %+v before %+v", cur, prev)
+		}
+		if cur.id < 0 || cur.id >= 100 {
+			t.Fatalf("entry %+v outside reindexed range", cur)
+		}
+		prev = cur
+	}
+}
+
 func TestHeapReset(t *testing.T) {
 	var h Heap[intEntry]
 	h.Push(intEntry{k: 1})

@@ -23,8 +23,10 @@ var DetPackages = []string{
 	"internal/faults",
 	"internal/fluid",
 	"internal/route",
+	"internal/service",
 	"internal/sim",
 	"internal/trace",
+	"internal/workload",
 }
 
 // inDetScope reports whether the import path (under module modpath) is on

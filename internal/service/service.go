@@ -1,0 +1,266 @@
+// Package service drives a long-running cluster under open-loop load: a
+// synchronous generate → inject → advance → drain → retire loop over an
+// engine-agnostic Target. The driver owns the streaming statistics (FCT
+// histogram, SLO attainment, retained-state accounting) so a soak never
+// accumulates per-flow results, and its mutable cursor serializes byte-
+// stably for checkpoint/restore.
+//
+// The whole package is single-goroutine by design: every tick is a plain
+// function call on the caller's goroutine, so service mode inherits the
+// repo's determinism story (and the detlint stray-goroutine gate) for free.
+package service
+
+import (
+	"fmt"
+
+	"rackfab/internal/sim"
+	"rackfab/internal/telemetry"
+	"rackfab/internal/workload"
+)
+
+// Completion is one finished flow as the target reports it out of Drain.
+type Completion struct {
+	Src, Dst int
+	Bytes    int64
+	Start    sim.Time
+	FCT      sim.Duration
+	Hops     int
+	Label    string
+}
+
+// Target is the engine adapter the driver ticks against. Implementations
+// wrap the fluid session or the packet fabric behind the same five verbs;
+// all time is absolute simulation time.
+type Target interface {
+	// Now returns the current simulation instant.
+	Now() sim.Time
+	// Inject adds flows with absolute At instants (at or after Now).
+	Inject(specs []workload.FlowSpec) error
+	// RunFor advances simulation time by d.
+	RunFor(d sim.Duration) error
+	// Drain returns flows completed since the last Drain, in completion
+	// order (ties in canonical flow order).
+	Drain() []Completion
+	// Retire releases per-flow state the engine no longer needs and
+	// returns how many flows it reclaimed this call.
+	Retire() int
+	// Retained returns the per-flow state records currently held.
+	Retained() int
+	// RetiredTotal returns the cumulative count of reclaimed flows.
+	RetiredTotal() int64
+}
+
+// Config parameterizes a Driver.
+type Config struct {
+	// Tick is the generate/advance cadence (must be positive).
+	Tick sim.Duration
+	// Source synthesizes the open-loop arrivals.
+	Source workload.ArrivalProcess
+	// Ideal maps a completion to its ideal (uncontended) FCT for SLO
+	// attainment; nil disables attainment accounting.
+	Ideal func(c Completion) sim.Duration
+	// SLOTargetX is the attainment multiplier k (FCT ≤ k × ideal attains);
+	// 0 means 4, matching the façade's Report default.
+	SLOTargetX float64
+	// RetireEvery is the tick period of retire sweeps (default 1 = every
+	// tick; negative disables retirement).
+	RetireEvery int
+}
+
+// Driver runs the service loop. All statistics are streaming: state is a
+// handful of counters, one histogram, and the arrival cursor, independent
+// of how long the soak has run.
+type Driver struct {
+	cfg Config
+	t   Target
+
+	ticks        int64
+	completed    int64
+	attained     int64
+	retainedPeak int
+	fct          *telemetry.Histogram
+}
+
+// New builds a driver over t.
+func New(cfg Config, t Target) (*Driver, error) {
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("service: tick must be positive, got %v", cfg.Tick)
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("service: an arrival source is required")
+	}
+	if cfg.SLOTargetX == 0 {
+		cfg.SLOTargetX = 4
+	}
+	if cfg.RetireEvery == 0 {
+		cfg.RetireEvery = 1
+	}
+	return &Driver{cfg: cfg, t: t, fct: telemetry.NewHistogram()}, nil
+}
+
+// Tick runs one service iteration: synthesize this tick's arrivals, inject
+// them, advance the clock one tick, account the completions, and (on the
+// retire cadence) release their engine state.
+func (d *Driver) Tick() error {
+	to := d.t.Now().Add(d.cfg.Tick)
+	if specs := d.cfg.Source.Next(to); len(specs) > 0 {
+		if err := d.t.Inject(specs); err != nil {
+			return err
+		}
+	}
+	if err := d.t.RunFor(d.cfg.Tick); err != nil {
+		return err
+	}
+	d.account(d.t.Drain())
+	d.ticks++
+	if d.cfg.RetireEvery > 0 && d.ticks%int64(d.cfg.RetireEvery) == 0 {
+		d.t.Retire()
+	}
+	if r := d.t.Retained(); r > d.retainedPeak {
+		d.retainedPeak = r
+	}
+	return nil
+}
+
+// RunUntil ticks until the simulation clock reaches at least until.
+func (d *Driver) RunUntil(until sim.Time) error {
+	for d.t.Now().Before(until) {
+		if err := d.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// account folds a drained completion batch into the streaming statistics.
+// Order matters only for byte-stable histogram state across restore, and
+// Drain's completion order is itself deterministic.
+func (d *Driver) account(cs []Completion) {
+	for _, c := range cs {
+		d.completed++
+		d.fct.Record(int64(c.FCT))
+		if d.cfg.Ideal != nil {
+			if ideal := d.cfg.Ideal(c); ideal > 0 && float64(c.FCT) <= d.cfg.SLOTargetX*float64(ideal) {
+				d.attained++
+			}
+		}
+	}
+}
+
+// Stats is a snapshot of the streaming service statistics.
+type Stats struct {
+	// Ticks is the number of completed service iterations.
+	Ticks int64
+	// Injected counts flows ever handed to the engine; Completed of those
+	// finished; Attained of those met the SLO; Retired had their engine
+	// state reclaimed.
+	Injected, Completed, Attained, Retired int64
+	// Retained is the engine's current per-flow state count; RetainedPeak
+	// its soak-lifetime maximum — the number the flat-memory gate bounds.
+	Retained, RetainedPeak int
+	// AttainPct is Attained over Completed as a percentage (0 when nothing
+	// completed).
+	AttainPct float64
+	// P50FCT, P99FCT, MaxFCT summarize the completion-time distribution.
+	P50FCT, P99FCT, MaxFCT sim.Duration
+}
+
+// Stats returns the current snapshot. Injected and Retired derive from the
+// target (reclaimed + still-held = ever injected), so they survive a
+// checkpoint/restore cycle without being serialized.
+func (d *Driver) Stats() Stats {
+	s := Stats{
+		Ticks:        d.ticks,
+		Injected:     d.t.RetiredTotal() + int64(d.t.Retained()),
+		Completed:    d.completed,
+		Attained:     d.attained,
+		Retired:      d.t.RetiredTotal(),
+		Retained:     d.t.Retained(),
+		RetainedPeak: d.retainedPeak,
+	}
+	if d.completed > 0 {
+		s.AttainPct = float64(d.attained) / float64(d.completed) * 100
+		s.P50FCT = sim.Duration(d.fct.Quantile(0.5))
+		s.P99FCT = sim.Duration(d.fct.Quantile(0.99))
+		s.MaxFCT = sim.Duration(d.fct.Max())
+	}
+	return s
+}
+
+// Fingerprint renders the statistics in a fixed, byte-stable form — the
+// string the soak gate and the checkpoint/restore split test compare.
+func (d *Driver) Fingerprint() string {
+	s := d.Stats()
+	return fmt.Sprintf(
+		"source=%s ticks=%d now=%d\ninjected=%d completed=%d attained=%d retired=%d retained=%d peak=%d\nfct p50=%d p99=%d max=%d\n",
+		d.cfg.Source.Name(), s.Ticks, int64(d.t.Now()),
+		s.Injected, s.Completed, s.Attained, s.Retired, s.Retained, s.RetainedPeak,
+		int64(s.P50FCT), int64(s.P99FCT), int64(s.MaxFCT))
+}
+
+// driverStateVersion tags the MarshalState layout.
+const driverStateVersion = 1
+
+// MarshalState serializes the driver's mutable cursor: tick count, retained
+// peak, and the arrival source cursor. The completion statistics are NOT
+// serialized — RestoreState rebuilds them exactly by re-accounting the
+// replayed target's completion history.
+func (d *Driver) MarshalState() []byte {
+	cur := d.cfg.Source.MarshalState()
+	b := make([]byte, 0, 1+8+8+4+len(cur))
+	b = append(b, driverStateVersion)
+	b = appendU64(b, uint64(d.ticks))
+	b = appendU64(b, uint64(d.retainedPeak))
+	b = appendU32(b, uint32(len(cur)))
+	b = append(b, cur...)
+	return b
+}
+
+// RestoreState restores a cursor serialized by MarshalState onto a freshly
+// constructed driver whose target has already replayed the checkpoint's
+// operation journal. The replay never drains, so the target is holding the
+// session's entire completion history; re-accounting it here rebuilds the
+// histogram and counters byte-identically to the original streaming run
+// (the one O(history) step of a restore).
+func (d *Driver) RestoreState(state []byte) error {
+	if len(state) < 1+8+8+4 {
+		return fmt.Errorf("service: driver state truncated (%d bytes)", len(state))
+	}
+	if state[0] != driverStateVersion {
+		return fmt.Errorf("service: driver state version %d, want %d", state[0], driverStateVersion)
+	}
+	d.ticks = int64(readU64(state[1:]))
+	d.retainedPeak = int(readU64(state[9:]))
+	n := int(readU32(state[17:]))
+	if len(state) != 21+n {
+		return fmt.Errorf("service: driver state length %d, want %d", len(state), 21+n)
+	}
+	if err := d.cfg.Source.UnmarshalState(state[21 : 21+n]); err != nil {
+		return err
+	}
+	d.completed, d.attained = 0, 0
+	d.fct.Reset()
+	d.account(d.t.Drain())
+	return nil
+}
+
+// appendU64/appendU32/readU64/readU32 are the little-endian helpers shared
+// with the façade's checkpoint codec (kept local: internal/service must not
+// import the root package).
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func readU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

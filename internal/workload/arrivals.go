@@ -1,0 +1,298 @@
+// Open-loop arrival processes for service mode: seeded generators that
+// synthesize FlowSpec batches on a sim-time schedule. Unlike the batch
+// generators in workload.go (which fix a flow count up front), these model a
+// cluster serving continuous load — the driver asks for "every arrival up to
+// instant T" each tick and injects the batch mid-run.
+//
+// Every process carries its own Stream (a splitmix64 counter generator whose
+// whole state is one uint64), so a checkpoint can serialize the cursor
+// exactly and a restored process continues the identical draw sequence. The
+// math/rand-backed sim.RNG cannot do that — its internal state is opaque —
+// which is why service mode does not use it.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rackfab/internal/sim"
+)
+
+// Stream is a serializable deterministic random stream (splitmix64). Its
+// entire state is the counter, so MarshalState/UnmarshalState on the arrival
+// processes below can capture it byte-exactly.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream seeded with seed.
+func NewStream(seed uint64) Stream { return Stream{state: seed} }
+
+// Uint64 returns the next 64-bit draw.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0,n).
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn on non-positive n")
+	}
+	// Multiply-shift bounded draw; the modulo bias at n « 2^64 is far below
+	// anything these workloads can observe.
+	return int(s.Uint64() % uint64(n))
+}
+
+// ExpDuration returns an exponential Duration with the given mean, floored at
+// one picosecond so arrival processes always advance the clock.
+func (s *Stream) ExpDuration(mean sim.Duration) sim.Duration {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	d := sim.Duration(-math.Log(u) * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// ArrivalProcess synthesizes open-loop arrivals on a sim-time schedule.
+type ArrivalProcess interface {
+	// Next returns every arrival with At < to, in At order, with absolute
+	// timestamps. Successive calls with increasing to partition the arrival
+	// sequence: splitting a run across Next(a); Next(b) yields the same flows
+	// as one Next(b).
+	Next(to sim.Time) []FlowSpec
+	// MarshalState serializes the mutable cursor (not the configuration) in
+	// a byte-stable form.
+	MarshalState() []byte
+	// UnmarshalState restores a cursor serialized by MarshalState on a
+	// process constructed with the same configuration.
+	UnmarshalState(b []byte) error
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// Poisson is a memoryless open-loop arrival process: exponential
+// inter-arrival gaps at a fixed rate, uniform distinct src/dst pairs, sizes
+// drawn from Sizes via its quantile function.
+type Poisson struct {
+	nodes int
+	rate  float64 // flows per second
+	sizes SizeDist
+	label string
+
+	rng  Stream
+	next sim.Time // pre-drawn upcoming arrival instant
+}
+
+// NewPoisson returns a Poisson arrival process over nodes hosts at rate flows
+// per second, starting at time 0.
+func NewPoisson(seed uint64, nodes int, rate float64, sizes SizeDist, label string) (*Poisson, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("workload: Poisson arrivals need ≥ 2 nodes, got %d", nodes)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: Poisson arrival rate must be positive, got %g", rate)
+	}
+	p := &Poisson{nodes: nodes, rate: rate, sizes: sizes, label: label, rng: NewStream(seed)}
+	p.next = sim.Time(0).Add(p.rng.ExpDuration(meanGap(rate)))
+	return p, nil
+}
+
+// meanGap converts a flows-per-second rate into a mean inter-arrival gap.
+func meanGap(rate float64) sim.Duration {
+	return sim.Duration(float64(sim.Second) / rate)
+}
+
+// Next returns every arrival with At < to.
+func (p *Poisson) Next(to sim.Time) []FlowSpec {
+	var out []FlowSpec
+	for p.next.Before(to) {
+		out = append(out, p.emit(p.next))
+		p.next = p.next.Add(p.rng.ExpDuration(meanGap(p.rate)))
+	}
+	return out
+}
+
+// emit draws one flow at instant at.
+func (p *Poisson) emit(at sim.Time) FlowSpec {
+	src := p.rng.Intn(p.nodes)
+	dst := p.rng.Intn(p.nodes - 1)
+	if dst >= src {
+		dst++
+	}
+	return FlowSpec{
+		Src:   src,
+		Dst:   dst,
+		Bytes: p.sizes.SampleU(p.rng.Float64()),
+		At:    at,
+		Label: p.label,
+	}
+}
+
+// Name identifies the process.
+func (p *Poisson) Name() string {
+	return fmt.Sprintf("poisson(%gfps,%s)", p.rate, p.sizes.Name())
+}
+
+// MarshalState serializes the cursor: RNG counter + pre-drawn next arrival.
+func (p *Poisson) MarshalState() []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b[0:], p.rng.state)
+	binary.LittleEndian.PutUint64(b[8:], uint64(p.next))
+	return b
+}
+
+// UnmarshalState restores a cursor serialized by MarshalState.
+func (p *Poisson) UnmarshalState(b []byte) error {
+	if len(b) != 16 {
+		return fmt.Errorf("workload: Poisson cursor is 16 bytes, got %d", len(b))
+	}
+	p.rng.state = binary.LittleEndian.Uint64(b[0:])
+	p.next = sim.Time(binary.LittleEndian.Uint64(b[8:]))
+	return nil
+}
+
+// Markov is a two-state Markov-modulated Poisson process: the arrival rate
+// alternates between a bursty and a quiet mode, with exponentially
+// distributed dwell times in each. It models the diurnal/bursty serving
+// shape of open user load better than a flat Poisson stream.
+type Markov struct {
+	nodes                int
+	rateBurst, rateQuiet float64 // flows per second per mode
+	dwellBurst           sim.Duration
+	dwellQuiet           sim.Duration
+	sizes                SizeDist
+	label                string
+
+	rng     Stream
+	mode    uint8 // 0 = quiet, 1 = burst
+	modeEnd sim.Time
+	next    sim.Time
+}
+
+// MarkovConfig parameterizes a Markov-modulated arrival process.
+type MarkovConfig struct {
+	Nodes      int
+	RateBurst  float64 // flows per second while bursting
+	RateQuiet  float64 // flows per second while quiet
+	DwellBurst sim.Duration
+	DwellQuiet sim.Duration
+	Sizes      SizeDist
+	Label      string
+}
+
+// NewMarkov returns a Markov-modulated arrival process starting in the quiet
+// mode at time 0.
+func NewMarkov(seed uint64, cfg MarkovConfig) (*Markov, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("workload: Markov arrivals need ≥ 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.RateBurst <= 0 || cfg.RateQuiet <= 0 {
+		return nil, fmt.Errorf("workload: Markov arrival rates must be positive, got burst=%g quiet=%g", cfg.RateBurst, cfg.RateQuiet)
+	}
+	if cfg.DwellBurst <= 0 || cfg.DwellQuiet <= 0 {
+		return nil, fmt.Errorf("workload: Markov dwell times must be positive")
+	}
+	m := &Markov{
+		nodes:      cfg.Nodes,
+		rateBurst:  cfg.RateBurst,
+		rateQuiet:  cfg.RateQuiet,
+		dwellBurst: cfg.DwellBurst,
+		dwellQuiet: cfg.DwellQuiet,
+		sizes:      cfg.Sizes,
+		label:      cfg.Label,
+		rng:        NewStream(seed),
+	}
+	m.modeEnd = sim.Time(0).Add(m.rng.ExpDuration(m.dwellQuiet))
+	m.draw(0)
+	return m, nil
+}
+
+// rate returns the arrival rate of the current mode.
+func (m *Markov) rate() float64 {
+	if m.mode == 1 {
+		return m.rateBurst
+	}
+	return m.rateQuiet
+}
+
+// draw advances the pre-drawn next-arrival cursor from instant t, switching
+// modes as dwell periods elapse. Re-drawing the residual gap after a mode
+// switch is exact by memorylessness of the exponential.
+func (m *Markov) draw(t sim.Time) {
+	for {
+		gap := m.rng.ExpDuration(meanGap(m.rate()))
+		if at := t.Add(gap); !at.After(m.modeEnd) {
+			m.next = at
+			return
+		}
+		t = m.modeEnd
+		m.mode = 1 - m.mode
+		dwell := m.dwellQuiet
+		if m.mode == 1 {
+			dwell = m.dwellBurst
+		}
+		m.modeEnd = m.modeEnd.Add(m.rng.ExpDuration(dwell))
+	}
+}
+
+// Next returns every arrival with At < to.
+func (m *Markov) Next(to sim.Time) []FlowSpec {
+	var out []FlowSpec
+	for m.next.Before(to) {
+		src := m.rng.Intn(m.nodes)
+		dst := m.rng.Intn(m.nodes - 1)
+		if dst >= src {
+			dst++
+		}
+		out = append(out, FlowSpec{
+			Src:   src,
+			Dst:   dst,
+			Bytes: m.sizes.SampleU(m.rng.Float64()),
+			At:    m.next,
+			Label: m.label,
+		})
+		m.draw(m.next)
+	}
+	return out
+}
+
+// Name identifies the process.
+func (m *Markov) Name() string {
+	return fmt.Sprintf("mmpp(%g/%gfps,%s)", m.rateBurst, m.rateQuiet, m.sizes.Name())
+}
+
+// MarshalState serializes the cursor: RNG counter, mode, mode end, next.
+func (m *Markov) MarshalState() []byte {
+	b := make([]byte, 25)
+	binary.LittleEndian.PutUint64(b[0:], m.rng.state)
+	b[8] = m.mode
+	binary.LittleEndian.PutUint64(b[9:], uint64(m.modeEnd))
+	binary.LittleEndian.PutUint64(b[17:], uint64(m.next))
+	return b
+}
+
+// UnmarshalState restores a cursor serialized by MarshalState.
+func (m *Markov) UnmarshalState(b []byte) error {
+	if len(b) != 25 {
+		return fmt.Errorf("workload: Markov cursor is 25 bytes, got %d", len(b))
+	}
+	m.rng.state = binary.LittleEndian.Uint64(b[0:])
+	m.mode = b[8]
+	m.modeEnd = sim.Time(binary.LittleEndian.Uint64(b[9:]))
+	m.next = sim.Time(binary.LittleEndian.Uint64(b[17:]))
+	return nil
+}

@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"rackfab/internal/sim"
@@ -30,6 +31,11 @@ type FlowSpec struct {
 type SizeDist interface {
 	// Sample draws one flow size (always ≥ 1).
 	Sample(rng *sim.RNG) int64
+	// SampleU maps one uniform draw u ∈ [0,1) to a flow size (always ≥ 1):
+	// the distribution's quantile function. The open-loop arrival processes
+	// use it so serializable Stream cursors can drive any SizeDist without
+	// touching the math/rand byte-streams behind Sample.
+	SampleU(u float64) int64
 	// Mean returns the distribution mean, used to convert offered load
 	// into an arrival rate.
 	Mean() float64
@@ -42,6 +48,9 @@ type Fixed int64
 
 // Sample returns the fixed size.
 func (f Fixed) Sample(*sim.RNG) int64 { return int64(f) }
+
+// SampleU returns the fixed size regardless of u.
+func (f Fixed) SampleU(float64) int64 { return int64(f) }
 
 // Mean returns the fixed size.
 func (f Fixed) Mean() float64 { return float64(f) }
@@ -64,6 +73,19 @@ type Pareto struct {
 // Sample draws one size.
 func (p Pareto) Sample(rng *sim.RNG) int64 {
 	v := int64(rng.Pareto(p.Alpha, float64(p.MinBytes)))
+	return p.clamp(v)
+}
+
+// SampleU maps a uniform draw to a size via the closed-form Pareto quantile.
+func (p Pareto) SampleU(u float64) int64 {
+	// The quantile is xm/(1-F)^(1/alpha); u is uniform so 1-u works as well
+	// and keeps u=0 the minimum rather than a division by zero.
+	v := int64(float64(p.MinBytes) / math.Pow(1-u, 1/p.Alpha))
+	return p.clamp(v)
+}
+
+// clamp applies the truncation and the ≥ 1 floor.
+func (p Pareto) clamp(v int64) int64 {
 	if p.MaxBytes > 0 && v > p.MaxBytes {
 		v = p.MaxBytes
 	}
@@ -121,7 +143,12 @@ func DataMining() Empirical {
 
 // Sample draws one size by inverse-CDF with linear interpolation.
 func (e Empirical) Sample(rng *sim.RNG) int64 {
-	u := rng.Float64()
+	return e.SampleU(rng.Float64())
+}
+
+// SampleU maps a uniform draw to a size by inverse-CDF with linear
+// interpolation.
+func (e Empirical) SampleU(u float64) int64 {
 	i := sort.SearchFloat64s(e.CDF, u)
 	if i >= len(e.Sizes) {
 		i = len(e.Sizes) - 1

@@ -17,10 +17,12 @@ type FlowSpec struct {
 	Label    string
 }
 
-// Inject schedules flows into the cluster and returns their handles. The
-// packet engine accepts injections at any time; the fluid engine's flow IDs
-// are canonical over the whole spec multiset, so it accepts Inject only
-// before the first Run call.
+// Inject schedules flows into the cluster and returns their handles. Both
+// engines accept injections at any time, including mid-run: At is relative
+// to the current simulated instant, and on the fluid engine a mid-run batch
+// gets batch-major flow IDs (canonical within the batch) so handles from
+// earlier batches never renumber. Mid-run injection is rejected only inside
+// RunPhases on the fluid engine, where the phase set must be closed.
 func (c *Cluster) Inject(specs []FlowSpec) ([]*Flow, error) {
 	return c.be.inject(specs)
 }
